@@ -1,0 +1,69 @@
+"""Ablation A2: property-driven dynamic dispatch on vs off.
+
+Section 5.1's point is that run-time property tracking lets the kernel
+choose cheaper implementations (sync/merge/datavector variants instead
+of generic hash ones).  We run the full TPC-D query mix with the
+optimizer's dynamic dispatch disabled and compare fault totals and the
+implementation histogram.
+"""
+
+from repro.bench import format_table
+from repro.monet.buffer import BufferManager, use
+from repro.monet.optimizer import Optimizer, get_optimizer
+from repro.monet.optimizer import use as use_optimizer
+from repro.tpcd import QUERIES
+
+MIX = (1, 3, 4, 6, 10, 13)
+
+
+def _run_mix(db):
+    for number in MIX:
+        QUERIES[number].run(db)
+
+
+def test_dispatch_on(benchmark, tpcd_db):
+    manager = BufferManager()
+    dynamic = Optimizer(dynamic=True)
+
+    def run():
+        manager.evict_all()
+        for registry in tpcd_db.kernel.registries.values():
+            registry.invalidate()
+        with use(manager), use_optimizer(dynamic):
+            _run_mix(tpcd_db)
+        return manager.faults
+
+    faults = benchmark(run)
+    print("\ndynamic dispatch ON: %d faults" % faults)
+    _print_histogram(dynamic)
+
+
+def test_dispatch_off(benchmark, tpcd_db):
+    manager = BufferManager()
+    static = Optimizer(dynamic=False)
+
+    def run():
+        manager.evict_all()
+        with use(manager), use_optimizer(static):
+            _run_mix(tpcd_db)
+        return manager.faults
+
+    faults = benchmark(run)
+    print("\ndynamic dispatch OFF: %d faults" % faults)
+    _print_histogram(static)
+
+    dynamic = Optimizer(dynamic=True)
+    on_manager = BufferManager()
+    for registry in tpcd_db.kernel.registries.values():
+        registry.invalidate()
+    with use(on_manager), use_optimizer(dynamic):
+        _run_mix(tpcd_db)
+    print("dispatch on vs off faults: %d vs %d"
+          % (on_manager.faults, faults))
+    assert on_manager.faults <= faults
+
+
+def _print_histogram(optimizer):
+    rows = sorted(optimizer.stats.items())
+    print(format_table(["op:impl", "count"], rows,
+                       title="implementation histogram"))

@@ -1,0 +1,41 @@
+"""Ablation A3: flattened nested-set selection vs per-set iteration.
+
+Section 4.3.2: "instead of executing repeated selections for each
+nested set, we can do all work together in one selection on the
+flattened representation."  We compare the rewriter's one-shot
+flattened plan for a selection on ``Supplier.supplies`` against a
+naive per-owner loop (what a non-flattened object engine would do).
+"""
+
+from repro.moa.values import Bag, Row, sequences_equivalent
+
+QUERY = ("project[<name : name, "
+         "select[<(%available, 500)](%supplies) : low>](Supplier)")
+
+
+def test_flattened_nested_selection(benchmark, tpcd_db):
+    rows = benchmark(lambda: tpcd_db.query(QUERY).rows)
+    assert len(rows) == len(tpcd_db.flat.data["Supplier"])
+
+
+def test_per_set_iteration(benchmark, tpcd_db, dataset):
+    """The naive semantics: loop over owners, filter each set."""
+
+    def naive():
+        out = []
+        for oid in sorted(dataset.data["Supplier"]):
+            record = dataset.data["Supplier"][oid]
+            low = [Row(list(e.items())) for e in record["supplies"]
+                   if e["available"] < 500]
+            out.append(Row([("name", record["name"]),
+                            ("low", Bag(low))]))
+        return out
+
+    naive_rows = benchmark(naive)
+    flattened = tpcd_db.query(QUERY).rows
+    assert len(naive_rows) == len(flattened)
+    # same sets come out of both strategies (modulo tuple field
+    # representation: compare sizes per supplier)
+    naive_sizes = sorted(len(r["low"]) for r in naive_rows)
+    flat_sizes = sorted(len(r["low"]) for r in flattened)
+    assert naive_sizes == flat_sizes

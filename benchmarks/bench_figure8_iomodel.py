@@ -1,0 +1,57 @@
+"""Figure 8: select-project IO cost, relational vs datavector.
+
+Regenerates the paper's cost curves (page faults vs selectivity for
+p in {1,3,6,9,12} against the relational strategy, n=16, X=6e6, w=4,
+B=4096) and checks the published crossover (s ~ 0.004 at p=3).
+"""
+
+from repro.bench import ascii_chart, format_table
+from repro.costmodel import (CostModelParams, crossover, e_dv, e_rel,
+                             figure8_series)
+
+PARAMS = CostModelParams(n_rows=6_000_000, n_attrs=16, width=4,
+                         page_size=4096)
+
+
+def test_figure8_series(benchmark):
+    grid, series = benchmark(figure8_series, PARAMS)
+    assert len(grid) == 61
+    assert set(series) == {"Erel(n=16)", "Edv(p=1,n=16)",
+                           "Edv(p=3,n=16)", "Edv(p=6,n=16)",
+                           "Edv(p=9,n=16)", "Edv(p=12,n=16)"}
+    # the figure's qualitative content: at moderate selectivity the
+    # datavector strategy beats the relational one for small p ...
+    assert e_dv(0.02, 3, PARAMS) < e_rel(0.02, PARAMS)
+    # ... but loses at very low selectivity (paper section 6.2)
+    assert e_dv(0.001, 3, PARAMS) > e_rel(0.001, PARAMS)
+    _print_figure8(grid, series)
+
+
+def test_crossover_matches_paper(benchmark):
+    point = benchmark(crossover, 3, PARAMS)
+    # "the crossover point for n=16, p=3 is at s ~ 0.004"
+    assert point is not None
+    assert 0.003 <= point <= 0.006
+    print("\ncrossover(p=3, n=16) = %.4f   (paper: ~0.004)" % point)
+
+
+def _print_figure8(grid, series):
+    sample_points = [0.0, 0.004, 0.01, 0.02, 0.03]
+    rows = []
+    for s in sample_points:
+        rows.append([
+            "%.3f" % s,
+            round(e_rel(s, PARAMS)),
+            round(e_dv(s, 1, PARAMS)),
+            round(e_dv(s, 3, PARAMS)),
+            round(e_dv(s, 6, PARAMS)),
+            round(e_dv(s, 9, PARAMS)),
+            round(e_dv(s, 12, PARAMS)),
+        ])
+    print("\n" + format_table(
+        ["s", "Erel", "Edv p=1", "Edv p=3", "Edv p=6", "Edv p=9",
+         "Edv p=12"], rows,
+        title="Figure 8: expected page faults (X=6e6, n=16, w=4, "
+              "B=4096)"))
+    print("\n" + ascii_chart(grid, series,
+                             title="Figure 8 (ASCII rendering)"))

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+The TPC-D scale factor is configurable through the environment
+variable ``REPRO_TPCD_SF`` (default 0.002 — roughly 12 k line items,
+seconds-scale benchmarks).  The paper's runs used SF = 1 (6 M line
+items) on 1997 hardware; the *shape* of the results is scale-free,
+which is what EXPERIMENTS.md compares.
+"""
+
+import os
+
+import pytest
+
+from repro.tpcd import RowStore, generate, load_tpcd
+
+SCALE = float(os.environ.get("REPRO_TPCD_SF", "0.002"))
+SEED = int(os.environ.get("REPRO_TPCD_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tpcd_db(dataset):
+    db, _report = load_tpcd(dataset)
+    return db
+
+
+@pytest.fixture(scope="session")
+def rowstore(dataset):
+    return RowStore(dataset)

@@ -1,0 +1,60 @@
+"""Nested sets: the section 4.3.2 example, in full.
+
+"Assume that we want to retrieve, for each supplier, the set of parts
+that are out of stock, so that available is equal to 0" — the paper's
+own nested-set query, run against a generated TPC-D database.  The
+point demonstrated: the flattened representation executes ONE
+selection over all suppliers' sets at once, instead of a selection per
+supplier; the emitted MIL program shows this (a single select +
+semijoin pair over the flattened supplies BATs).
+
+Run:  python examples/nested_sets.py
+"""
+
+from repro.tpcd import generate, load_tpcd
+
+# the paper's query (section 4.3.2), modulo our threshold: DBGEN never
+# produces available == 0, so "nearly out of stock" (< 200) is used
+QUERY = """
+project[<%name,
+         select[<(%available, 200)](%supplies) : out_of_stock>](Supplier)
+"""
+
+UNNEST_QUERY = """
+sort[cost asc](
+ project[<%1.name : supplier, %2.part.name : part, %2.cost : cost>](
+  select[<(%2.available, 200)](unnest[supplies](Supplier))))
+"""
+
+
+def main():
+    dataset = generate(scale=0.001, seed=1)
+    db, _report = load_tpcd(dataset)
+
+    print("=== the paper's nested-set selection (section 4.3.2) ===")
+    print(QUERY)
+    print("--- MIL: one flattened selection for ALL suppliers ---")
+    print(db.mil_text(QUERY))
+    result = db.query(QUERY)
+    shown = 0
+    for row in result.rows:
+        if len(row["out_of_stock"]) and shown < 5:
+            print("  %s -> %d low-stock supply entries"
+                  % (row["name"], len(row["out_of_stock"])))
+            shown += 1
+
+    print("\n=== the same data unnested into pairs ===")
+    print(UNNEST_QUERY)
+    rows = db.query(UNNEST_QUERY).rows
+    for row in rows[:8]:
+        print("  ", row)
+    print("  ... (%d rows)" % len(rows))
+
+    # both formulations agree with the reference evaluator (Figure 6)
+    db.check_commutes(QUERY)
+    db.check_commutes(UNNEST_QUERY)
+    print("\nFigure 6 commuting diagram holds for both queries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""TPC-D analytics: the paper's section 6 experiment, end to end.
+
+Generates a scaled TPC-D database, loads it through the section 6
+pipeline (bulk load, datavectors, tail reorder), runs the paper's
+example query Q13 with a full MIL trace (Figure 10), and then the
+whole 15-query mix with timings and simulated page faults (Figure 9).
+
+Run:  python examples/tpcd_analytics.py [scale]
+"""
+
+import sys
+import time
+
+from repro.monet.buffer import BufferManager, use
+from repro.tpcd import QUERIES, generate, load_tpcd
+
+
+def main(scale=0.001):
+    print("generating TPC-D at SF=%g ..." % scale)
+    dataset = generate(scale=scale, seed=42)
+    print("  %s" % dataset)
+
+    db, report = load_tpcd(dataset)
+    print("\n=== load pipeline (paper section 6) ===")
+    print(report.format_table())
+
+    # --- Figure 10: the detailed Q13 trace --------------------------------
+    q13 = QUERIES[13]
+    text = q13.texts()[0]
+    print("\n=== Q13 in MOA (paper section 4.1) ===")
+    print(text)
+    print("=== MIL translation (Figure 5) ===")
+    print(db.mil_text(text))
+
+    manager = BufferManager(page_size=4096)
+    with use(manager):
+        result = db.query(text)
+    print("\n=== Figure 10: detailed execution trace ===")
+    print(result.trace.format_table())
+    print("result:", result.rows)
+
+    # --- Figure 9: the full query mix --------------------------------------
+    print("\n=== Figure 9: all 15 queries ===")
+    print("%-4s %9s %8s %7s  %s" % ("Qx", "elapsed_s", "faults",
+                                    "rows", "comment"))
+    for number in sorted(QUERIES):
+        query = QUERIES[number]
+        manager = BufferManager(page_size=4096)
+        started = time.perf_counter()
+        with use(manager):
+            rows = query.run(db)
+        elapsed = time.perf_counter() - started
+        shape = ("scalar" if isinstance(rows, (int, float))
+                 else str(len(rows)))
+        print("%-4s %9.3f %8d %7s  %s"
+              % ("Q%d" % number, elapsed, manager.faults, shape,
+                 query.comment))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.001)

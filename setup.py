@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop``
+and legacy ``pip install -e .`` paths work offline; all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Shared benchmark harness utilities."""
+
+from .harness import (ascii_chart, format_table, geometric_mean,
+                      measure_query_faults, measure_rowstore_faults)
+
+__all__ = ["ascii_chart", "format_table", "geometric_mean",
+           "measure_query_faults", "measure_rowstore_faults"]

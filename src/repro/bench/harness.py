@@ -1,0 +1,88 @@
+"""Benchmark harness helpers: tables, charts, fault measurement.
+
+Every benchmark regenerates a table or figure of the paper; these
+helpers keep the output format consistent (and close to the paper's
+layout, e.g. Figure 9's column set).
+"""
+
+import math
+
+from ..monet.buffer import BufferManager, use
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width ASCII table."""
+    widths = [len(str(h)) for h in headers]
+    rendered = []
+    for row in rows:
+        cells = [_fmt(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w)
+                           for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        return "%.3g" % cell
+    return str(cell)
+
+
+def ascii_chart(grid, series, width=64, height=18, title=None):
+    """Rough ASCII rendering of Figure-8-style line series."""
+    all_values = [v for values in series.values() for v in values]
+    top = max(all_values) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    marks = "*o+x#@%&"
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(sorted(series.items())):
+        mark = marks[index % len(marks)]
+        for column in range(width):
+            position = column * (len(grid) - 1) // max(1, width - 1)
+            value = values[position]
+            row = height - 1 - int(value / top * (height - 1))
+            canvas[row][column] = mark
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(" s: 0 .. %.3g   faults: 0 .. %.3g" % (grid[-1], top))
+    for index, label in enumerate(sorted(series)):
+        lines.append("   %s = %s" % (marks[index % len(marks)], label))
+    return "\n".join(lines)
+
+
+def geometric_mean(values):
+    """Geometric mean, as in the paper's QppD metric."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def measure_query_faults(db, query, params=None, page_size=4096):
+    """Cold-cache simulated page faults of one MOA query run."""
+    manager = BufferManager(page_size=page_size)
+    with use(manager):
+        query.run(db, params)
+    return manager.faults
+
+
+def measure_rowstore_faults(store, number, params, page_size=4096):
+    """Cold-cache simulated page faults of one row-store query run."""
+    manager = BufferManager(page_size=page_size)
+    with use(manager):
+        store.run(number, params)
+    return manager.faults

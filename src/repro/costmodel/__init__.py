@@ -1,0 +1,11 @@
+"""The section 5.2.2 IO cost model: analytic formulas + empirical
+validation against the simulated pager."""
+
+from .iomodel import (CostModelParams, crossover, e_dv, e_rel,
+                      figure8_series)
+from .simulate import build_decomposed, measure_dv, measure_rel, validate
+
+__all__ = [
+    "CostModelParams", "crossover", "e_dv", "e_rel", "figure8_series",
+    "build_decomposed", "measure_dv", "measure_rel", "validate",
+]

@@ -1,0 +1,144 @@
+"""The analytic IO cost model of paper section 5.2.2, verbatim.
+
+Expected number of B-byte page faults for a selection of selectivity
+``s`` followed by a projection to ``p`` attributes of an n-ary table
+with ``X`` rows of uniform value width ``w``:
+
+relational (non-decomposed) strategy::
+
+    E_rel(s) = ceil(s*X / C_inv)
+             + ceil(X / C_rel) * (1 - (1-s)^C_rel)
+
+    C_inv = floor(B / 2w)        inverted-list entries per page
+    C_rel = floor(B / (n+1)w)    rows per page
+
+Monet datavector strategy::
+
+    E_dv(s) = ceil(s*X / C_bat)
+            + (p+1) * (ceil(X / C_dv) * (1 - (1-s)^C_dv))
+
+    C_bat = floor(B / 2w)        BUNs per page
+    C_dv  = floor(B / w)         vector values per page
+
+The first terms are the (clustered) index/BAT range reads of the
+selection; the second terms are unclustered fetches — pages multiplied
+by the probability that at least one qualifying row/value hits the
+page.  The ``p+1`` counts the extent lookup of the first datavector
+semijoin (section 5.2.2: "counts as one semijoin more").
+
+Figure 8 plots both for X=6e6, n=16, w=4, B=4096, p in {1,3,6,9,12};
+the crossover for p=3 falls at s ~ 0.004.
+"""
+
+import math
+
+from ..errors import CostModelError
+
+
+class CostModelParams:
+    """Shared parameters of both strategies (defaults = Figure 8)."""
+
+    def __init__(self, n_rows=6_000_000, n_attrs=16, width=4,
+                 page_size=4096):
+        if min(n_rows, n_attrs, width, page_size) <= 0:
+            raise CostModelError("cost model parameters must be positive")
+        self.n_rows = n_rows
+        self.n_attrs = n_attrs
+        self.width = width
+        self.page_size = page_size
+
+    @property
+    def c_inv(self):
+        """Inverted-list entries per page: floor(B / 2w)."""
+        return self.page_size // (2 * self.width)
+
+    @property
+    def c_rel(self):
+        """n-ary rows per page: floor(B / (n+1)w)."""
+        return self.page_size // ((self.n_attrs + 1) * self.width)
+
+    @property
+    def c_bat(self):
+        """BUNs per page: floor(B / 2w)."""
+        return self.page_size // (2 * self.width)
+
+    @property
+    def c_dv(self):
+        """Datavector values per page: floor(B / w)."""
+        return self.page_size // self.width
+
+
+def _hit_probability(selectivity, per_page):
+    """1 - (1-s)^C — probability a page holds >= 1 qualifying entry."""
+    return 1.0 - (1.0 - selectivity) ** per_page
+
+
+def e_rel(selectivity, params=None):
+    """Expected page faults of the relational strategy."""
+    params = params or CostModelParams()
+    if not 0.0 <= selectivity <= 1.0:
+        raise CostModelError("selectivity must be in [0, 1]")
+    index_pages = math.ceil(selectivity * params.n_rows / params.c_inv)
+    table_pages = math.ceil(params.n_rows / params.c_rel)
+    return index_pages + table_pages * _hit_probability(selectivity,
+                                                        params.c_rel)
+
+
+def e_dv(selectivity, p_attrs, params=None):
+    """Expected page faults of the Monet datavector strategy."""
+    params = params or CostModelParams()
+    if not 0.0 <= selectivity <= 1.0:
+        raise CostModelError("selectivity must be in [0, 1]")
+    if p_attrs < 0:
+        raise CostModelError("p must be non-negative")
+    select_pages = math.ceil(selectivity * params.n_rows / params.c_bat)
+    vector_pages = math.ceil(params.n_rows / params.c_dv)
+    fetches = (p_attrs + 1) * vector_pages * _hit_probability(
+        selectivity, params.c_dv)
+    return select_pages + fetches
+
+
+def crossover(p_attrs, params=None, lo=0.0, hi=1.0, iterations=80):
+    """Selectivity where E_dv(s) = E_rel(s) (bisection).
+
+    Below the crossover the relational strategy touches fewer pages;
+    above it Monet's thin tables win.  For the Figure 8 parameters and
+    p = 3 the paper reports s ~ 0.004.  Returns None when no sign
+    change exists on [lo, hi].
+    """
+    params = params or CostModelParams()
+
+    def gap(s):
+        return e_dv(s, p_attrs, params) - e_rel(s, params)
+
+    lo_gap = gap(lo if lo > 0 else 1e-9)
+    hi_gap = gap(hi)
+    if lo_gap == 0:
+        return lo
+    if lo_gap * hi_gap > 0:
+        return None
+    low, high = max(lo, 1e-9), hi
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        if gap(mid) * lo_gap > 0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def figure8_series(params=None, p_values=(1, 3, 6, 9, 12),
+                   s_max=0.03, steps=61):
+    """The Figure 8 data: selectivity grid + one series per strategy.
+
+    Returns ``(selectivities, {"Erel(n=16)": [...],
+    "Edv(p=1,n=16)": [...], ...})`` in the figure's labeling.
+    """
+    params = params or CostModelParams()
+    grid = [s_max * i / (steps - 1) for i in range(steps)]
+    series = {"Erel(n=%d)" % params.n_attrs:
+              [e_rel(s, params) for s in grid]}
+    for p_attrs in p_values:
+        label = "Edv(p=%d,n=%d)" % (p_attrs, params.n_attrs)
+        series[label] = [e_dv(s, p_attrs, params) for s in grid]
+    return grid, series

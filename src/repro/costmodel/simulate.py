@@ -1,0 +1,112 @@
+"""Empirical validation of the section 5.2.2 analytic model.
+
+Builds an actual n-ary table (through :class:`~repro.tpcd.rowstore`
+machinery) and an actual decomposed/datavectored table (through the
+Monet kernel), executes the select-then-project-p-attributes workload
+under a cold :class:`~repro.monet.buffer.BufferManager`, and returns
+measured fault counts next to the analytic expectations.
+
+The measured numbers track the model closely (same page math drives
+both), which is the point: the *operators* charge faults through their
+real access patterns, and the model predicts them.
+"""
+
+import numpy as np
+
+from ..monet import operators as ops
+from ..monet.buffer import BufferManager, use
+from ..monet.kernel import MonetKernel
+from .iomodel import CostModelParams, e_dv, e_rel
+
+
+def build_decomposed(n_rows, n_attrs, seed=0):
+    """A Monet-side table: one tail-sorted BAT per attribute with a
+    datavector, plus the class extent."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    kernel = MonetKernel()
+    oids = list(range(n_rows))
+    attr_names = []
+    for attr in range(n_attrs):
+        name = "T_a%d" % attr
+        values = rng.integers(0, max(4, n_rows), size=n_rows)
+        kernel.bulk_load(name, "oid", oids, "int",
+                         [int(v) for v in values], group="T")
+        attr_names.append(name)
+    kernel.create_extent("T", attr_names[0])
+    kernel.create_datavectors("T", attr_names)
+    kernel.reorder_on_tail(attr_names)
+    return kernel, attr_names
+
+
+def measure_dv(kernel, attr_names, selectivity, p_attrs,
+               page_size=4096, seed=0):
+    """Measured faults: range-select on attribute 0, then semijoin
+    ``p_attrs`` value attributes against the selection."""
+    select_bat = kernel.get(attr_names[0])
+    n = len(select_bat)
+    values = sorted(int(v) for v in select_bat.tail.logical())
+    hi = values[min(n - 1, max(0, int(selectivity * n) - 1))] \
+        if selectivity > 0 else values[0] - 1
+    manager = BufferManager(page_size=page_size)
+    with use(manager):
+        selected = ops.select_range(select_bat, None, hi)
+        ordered = ops.sort_head(selected)
+        for attr in range(1, 1 + p_attrs):
+            bat = kernel.get(attr_names[attr % len(attr_names)])
+            ops.semijoin(bat, ordered)
+    return manager.faults, len(selected)
+
+
+def measure_rel(dataset_columns, selectivity, p_attrs, page_size=4096):
+    """Measured faults of the row-store strategy on the same workload.
+
+    ``dataset_columns`` is a dict of equal-length numpy columns; the
+    first column is the selection attribute.
+    """
+    from ..tpcd.rowstore import RowTable
+    from ..monet.buffer import get_manager
+    table = RowTable("sim", dict(dataset_columns))
+    manager = BufferManager(page_size=page_size)
+    names = list(dataset_columns)
+    values = np.sort(np.asarray(dataset_columns[names[0]]))
+    n = len(values)
+    hi = values[min(n - 1, max(0, int(selectivity * n) - 1))] \
+        if selectivity > 0 else values[0] - 1
+    with use(manager):
+        mask = np.asarray(dataset_columns[names[0]]) <= hi
+        row_ids = np.nonzero(mask)[0]
+        _sorted, _perm, index_heap = table.index(names[0])
+        get_manager().access_range(index_heap, 0, len(row_ids) * 8)
+        get_manager().access_positions(table.heap, row_ids,
+                                       table.row_width)
+    return manager.faults, len(row_ids)
+
+
+def validate(n_rows=40_000, n_attrs=16, selectivities=(0.001, 0.01, 0.05),
+             p_attrs=3, page_size=4096, seed=0):
+    """Measured-vs-model table for both strategies.
+
+    Returns a list of dicts with keys: s, measured_dv, model_dv,
+    measured_rel, model_rel.
+    """
+    params = CostModelParams(n_rows=n_rows, n_attrs=n_attrs, width=4,
+                             page_size=page_size)
+    kernel, attr_names = build_decomposed(n_rows, n_attrs, seed)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    columns = {"a%d" % i: rng.integers(0, max(4, n_rows), size=n_rows)
+               for i in range(n_attrs)}
+    rows = []
+    for s in selectivities:
+        dv_faults, dv_rows = measure_dv(kernel, attr_names, s, p_attrs,
+                                        page_size, seed)
+        rel_faults, rel_rows = measure_rel(columns, s, p_attrs, page_size)
+        actual_s = dv_rows / n_rows
+        rows.append({
+            "s": s,
+            "actual_s": actual_s,
+            "measured_dv": dv_faults,
+            "model_dv": e_dv(actual_s, p_attrs, params),
+            "measured_rel": rel_faults,
+            "model_rel": e_rel(rel_rows / n_rows, params),
+        })
+    return rows

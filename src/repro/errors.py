@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type.  Sub-hierarchies mirror the layers of the
+system: the Monet kernel, the MOA layer, and the TPC-D substrate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MonetError(ReproError):
+    """Base class for errors raised by the Monet kernel substrate."""
+
+
+class AtomError(MonetError):
+    """An unknown atom type, or a value that does not fit an atom type."""
+
+
+class HeapError(MonetError):
+    """Heap construction or access failure."""
+
+
+class BATError(MonetError):
+    """Malformed BAT, or an operation applied to an incompatible BAT."""
+
+
+class PropertyError(MonetError):
+    """A declared BAT property is inconsistent with the BAT's data."""
+
+
+class OperatorError(MonetError):
+    """A BAT-algebra operator was invoked with invalid operands."""
+
+
+class MILError(MonetError):
+    """A MIL program is malformed or failed to execute."""
+
+
+class CatalogError(MonetError):
+    """A named BAT is missing from (or duplicated in) the kernel catalog."""
+
+
+class MOAError(ReproError):
+    """Base class for errors raised by the MOA layer."""
+
+
+class TypeSystemError(MOAError):
+    """Invalid MOA type construction."""
+
+
+class SchemaError(MOAError):
+    """Invalid class definition or schema composition."""
+
+
+class ParseError(MOAError):
+    """Syntax error in a textual MOA query."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = "%s (line %d, column %d)" % (message, line, col)
+        super().__init__(message)
+
+
+class TypeCheckError(MOAError):
+    """A MOA expression is ill-typed with respect to the schema."""
+
+
+class RewriteError(MOAError):
+    """The MOA->MIL rewriter met a construct it cannot translate."""
+
+
+class EvaluationError(MOAError):
+    """The reference evaluator met an invalid runtime value."""
+
+
+class MappingError(MOAError):
+    """Logical data does not match the schema during flattening."""
+
+
+class TPCDError(ReproError):
+    """Base class for errors in the TPC-D substrate."""
+
+
+class DBGenError(TPCDError):
+    """Invalid data-generation parameters."""
+
+
+class CostModelError(ReproError):
+    """Invalid parameters for the analytic IO cost model."""

@@ -1,0 +1,454 @@
+"""AST of the MOA query algebra (paper section 4.1).
+
+MOA "contains the operations select, project, join, semijoin, union,
+intersection, difference, subset, in, nest, unnest, and aggregates that
+operate on sets; it allows access to attributes of tuples and objects;
+it supports operations on the atomic types".  The nodes here cover
+that list, plus the ``sort``/``top`` extensions TPC-D needs (declared
+as extensions in DESIGN.md).
+
+Set-valued nodes: :class:`Extent`, :class:`Select`, :class:`Project`,
+:class:`Join`, :class:`Semijoin`, :class:`SetOp`, :class:`Nest`,
+:class:`Unnest`, :class:`Sort`, :class:`Top`.
+
+Scalar expressions: :class:`Element` (the current set element),
+:class:`Attr`, :class:`Pos` (``%1``), :class:`Name` (unresolved
+identifier, removed by the resolver), :class:`Literal`,
+:class:`BinOp`, :class:`UnOp`, :class:`Call`, :class:`Aggregate`,
+:class:`TupleCons`, :class:`In`.
+
+Every node renders back to the paper's textual syntax via
+:meth:`Node.render`, which the parser round-trip tests rely on.
+"""
+
+
+class Node:
+    """Abstract syntax node."""
+
+    def render(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.render())
+
+    def children(self):
+        return ()
+
+
+# ----------------------------------------------------------------------
+# set expressions
+# ----------------------------------------------------------------------
+class Extent(Node):
+    """A class extent: the set of all instances (e.g. ``Item``)."""
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name):
+        self.class_name = class_name
+
+    def render(self):
+        return self.class_name
+
+
+class Select(Node):
+    """``select[p1, ..., pk](X)`` — conjunctive selection."""
+
+    __slots__ = ("input", "predicates")
+
+    def __init__(self, input_set, predicates):
+        self.input = input_set
+        self.predicates = list(predicates)
+
+    def render(self):
+        return "select[%s](%s)" % (
+            ", ".join(p.render() for p in self.predicates),
+            self.input.render())
+
+    def children(self):
+        return (self.input, *self.predicates)
+
+
+class Project(Node):
+    """``project[e](X)`` or ``project[<e1: n1, ...>](X)``."""
+
+    __slots__ = ("input", "items")
+
+    def __init__(self, input_set, items):
+        #: list of (expr, name or None); a single unnamed item means a
+        #: set of plain values, several items mean a set of tuples.
+        self.input = input_set
+        self.items = list(items)
+
+    def is_tuple_result(self):
+        return len(self.items) > 1 or self.items[0][1] is not None
+
+    def render(self):
+        if not self.is_tuple_result():
+            return "project[%s](%s)" % (self.items[0][0].render(),
+                                        self.input.render())
+        rendered = ", ".join(
+            expr.render() if name is None
+            else "%s : %s" % (expr.render(), name)
+            for expr, name in self.items)
+        return "project[<%s>](%s)" % (rendered, self.input.render())
+
+    def children(self):
+        return (self.input, *[expr for expr, _n in self.items])
+
+
+class Join(Node):
+    """``join[lkey, rkey](X, Y)`` — equi-join on key expressions.
+
+    The result is a set of pairs ``<_1: x, _2: y>`` (accessed with
+    ``%1`` / ``%2``); multi-attribute keys use tuple constructors.
+    """
+
+    __slots__ = ("left", "right", "left_key", "right_key")
+
+    def __init__(self, left, right, left_key, right_key):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def render(self):
+        return "join[%s, %s](%s, %s)" % (
+            self.left_key.render(), self.right_key.render(),
+            self.left.render(), self.right.render())
+
+    def children(self):
+        return (self.left, self.right, self.left_key, self.right_key)
+
+
+class Semijoin(Node):
+    """``semijoin[lkey, rkey](X, Y)`` — elements of X with a match in Y;
+    ``anti`` flips it to the complement (NOT EXISTS)."""
+
+    __slots__ = ("left", "right", "left_key", "right_key", "anti")
+
+    def __init__(self, left, right, left_key, right_key, anti=False):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.anti = anti
+
+    def render(self):
+        op = "antijoin" if self.anti else "semijoin"
+        return "%s[%s, %s](%s, %s)" % (
+            op, self.left_key.render(), self.right_key.render(),
+            self.left.render(), self.right.render())
+
+    def children(self):
+        return (self.left, self.right, self.left_key, self.right_key)
+
+
+class SetOp(Node):
+    """``union(X, Y)``, ``difference(X, Y)``, ``intersection(X, Y)``."""
+
+    __slots__ = ("kind", "left", "right")
+
+    KINDS = ("union", "difference", "intersection")
+
+    def __init__(self, kind, left, right):
+        assert kind in self.KINDS
+        self.kind = kind
+        self.left = left
+        self.right = right
+
+    def render(self):
+        return "%s(%s, %s)" % (self.kind, self.left.render(),
+                               self.right.render())
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class Nest(Node):
+    """``nest[k1, ..., kn](X)`` — group X by key expressions.
+
+    Result: set of tuples ``<k1, ..., kn, group>`` where ``group`` is
+    the nested set of the original elements (the paper's Q13 uses
+    ``nest[date]`` and then reaches the nested set through ``%2``).
+    """
+
+    __slots__ = ("input", "keys", "group_name")
+
+    def __init__(self, input_set, keys, group_name="group"):
+        #: keys: list of (expr, name or None)
+        self.input = input_set
+        self.keys = list(keys)
+        self.group_name = group_name
+
+    def render(self):
+        rendered = ", ".join(
+            expr.render() if name is None
+            else "%s : %s" % (expr.render(), name)
+            for expr, name in self.keys)
+        return "nest[%s](%s)" % (rendered, self.input.render())
+
+    def children(self):
+        return (self.input, *[expr for expr, _n in self.keys])
+
+
+class Unnest(Node):
+    """``unnest[attr](X)`` — flatten a set-valued attribute.
+
+    Result: set of pairs ``<_1: x, _2: element-of-x.attr>``.
+    """
+
+    __slots__ = ("input", "attr")
+
+    def __init__(self, input_set, attr):
+        self.input = input_set
+        self.attr = attr
+
+    def render(self):
+        return "unnest[%s](%s)" % (self.attr, self.input.render())
+
+    def children(self):
+        return (self.input,)
+
+
+class Sort(Node):
+    """``sort[e1 asc, e2 desc, ...](X)`` (extension for TPC-D)."""
+
+    __slots__ = ("input", "keys")
+
+    def __init__(self, input_set, keys):
+        #: keys: list of (expr, descending: bool)
+        self.input = input_set
+        self.keys = list(keys)
+
+    def render(self):
+        rendered = ", ".join(
+            "%s %s" % (expr.render(), "desc" if desc else "asc")
+            for expr, desc in self.keys)
+        return "sort[%s](%s)" % (rendered, self.input.render())
+
+    def children(self):
+        return (self.input, *[expr for expr, _d in self.keys])
+
+
+class Top(Node):
+    """``top[n](X)`` — first n elements of a sorted set (extension)."""
+
+    __slots__ = ("input", "n")
+
+    def __init__(self, input_set, n):
+        self.input = input_set
+        self.n = int(n)
+
+    def render(self):
+        return "top[%d](%s)" % (self.n, self.input.render())
+
+    def children(self):
+        return (self.input,)
+
+
+# ----------------------------------------------------------------------
+# scalar expressions
+# ----------------------------------------------------------------------
+class Element(Node):
+    """The current element of the enclosing set operation (``%0``)."""
+
+    __slots__ = ()
+
+    def render(self):
+        return "%0"
+
+
+class Name(Node):
+    """An unresolved identifier; the resolver turns it into an
+    attribute access or a class extent."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def render(self):
+        return self.name
+
+
+class Attr(Node):
+    """Attribute access, e.g. ``order.clerk`` or ``%supplies``."""
+
+    __slots__ = ("base", "name")
+
+    def __init__(self, base, name):
+        self.base = base
+        self.name = name
+
+    def render(self):
+        if isinstance(self.base, Element):
+            return "%%%s" % self.name
+        return "%s.%s" % (self.base.render(), self.name)
+
+    def children(self):
+        return (self.base,)
+
+
+class Pos(Node):
+    """Positional tuple access ``%1``, ``%2`` (1-based)."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index):
+        self.base = base
+        self.index = int(index)
+
+    def render(self):
+        if isinstance(self.base, Element):
+            return "%%%d" % self.index
+        return "%s.%%%d" % (self.base.render(), self.index)
+
+    def children(self):
+        return (self.base,)
+
+
+class Literal(Node):
+    """A constant with an atom type."""
+
+    __slots__ = ("value", "atom_name")
+
+    def __init__(self, value, atom_name):
+        self.value = value
+        self.atom_name = atom_name
+
+    def render(self):
+        if self.atom_name == "string":
+            return '"%s"' % self.value
+        if self.atom_name == "char":
+            return "'%s'" % self.value
+        if self.atom_name == "instant":
+            from ..monet.atoms import days_to_date
+            return 'date("%s")' % days_to_date(self.value).isoformat()
+        if self.atom_name == "bool":
+            return "true" if self.value else "false"
+        return repr(self.value)
+
+
+class BinOp(Node):
+    """Binary operation in prefix syntax: ``=(a, b)``, ``*(a, b)``."""
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/",
+           "and", "or")
+
+    def __init__(self, op, left, right):
+        assert op in self.OPS, op
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def render(self):
+        return "%s(%s, %s)" % (self.op, self.left.render(),
+                               self.right.render())
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class UnOp(Node):
+    """Unary operation: ``not(x)``, ``neg(x)``."""
+
+    __slots__ = ("op", "operand")
+
+    OPS = ("not", "neg")
+
+    def __init__(self, op, operand):
+        assert op in self.OPS, op
+        self.op = op
+        self.operand = operand
+
+    def render(self):
+        return "%s(%s)" % (self.op, self.operand.render())
+
+    def children(self):
+        return (self.operand,)
+
+
+class Call(Node):
+    """Scalar function call: ``year(x)``, ``startswith(x, "P")``."""
+
+    __slots__ = ("fname", "args")
+
+    def __init__(self, fname, args):
+        self.fname = fname
+        self.args = list(args)
+
+    def render(self):
+        return "%s(%s)" % (self.fname,
+                           ", ".join(a.render() for a in self.args))
+
+    def children(self):
+        return tuple(self.args)
+
+
+class Aggregate(Node):
+    """Set aggregate: ``sum(X)``, ``count(X)``, ... — scalar valued."""
+
+    __slots__ = ("func", "input")
+
+    FUNCS = ("sum", "count", "avg", "min", "max")
+
+    def __init__(self, func, input_set):
+        assert func in self.FUNCS
+        self.func = func
+        self.input = input_set
+
+    def render(self):
+        return "%s(%s)" % (self.func, self.input.render())
+
+    def children(self):
+        return (self.input,)
+
+
+class TupleCons(Node):
+    """Tuple constructor ``<e1: n1, e2: n2, ...>``."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        #: list of (expr, name or None)
+        self.items = list(items)
+
+    def render(self):
+        rendered = ", ".join(
+            expr.render() if name is None
+            else "%s : %s" % (expr.render(), name)
+            for expr, name in self.items)
+        return "<%s>" % rendered
+
+    def children(self):
+        return tuple(expr for expr, _n in self.items)
+
+
+class In(Node):
+    """Membership test ``in(e, X)`` — the paper lists ``in`` among the
+    algebra's operations."""
+
+    __slots__ = ("item", "input")
+
+    def __init__(self, item, input_set):
+        self.item = item
+        self.input = input_set
+
+    def render(self):
+        return "in(%s, %s)" % (self.item.render(), self.input.render())
+
+    def children(self):
+        return (self.item, self.input)
+
+
+SET_NODES = (Extent, Select, Project, Join, Semijoin, SetOp, Nest,
+             Unnest, Sort, Top)
+
+
+def walk(node):
+    """Depth-first iterator over a subtree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

@@ -1,0 +1,340 @@
+"""Reference evaluator: MOA semantics directly on logical values.
+
+This is the *logical* path of the paper's Figure 6 commuting diagram:
+the same resolved query that the rewriter translates to MIL is here
+executed naively over the logical object store (Python dicts).  The
+test suite checks that both paths produce equivalent results, which is
+the paper's notion of a correct implementation ("an implementation for
+which both gray paths in Figure 6 yield the same result").
+
+The evaluator is deliberately simple (nested loops, no indexes) — it
+is an executable specification, not an engine.
+"""
+
+from ..errors import EvaluationError
+from ..monet.atoms import days_to_date
+from . import ast
+from .types import BaseType, ClassRef, SetType, TupleType
+from .values import Bag, Ref, Row, canonical_key
+
+
+class Evaluator:
+    """Evaluates a :class:`~repro.moa.typecheck.ResolvedQuery` over a
+    logical store ``{class: {oid: {attr: value}}}``."""
+
+    def __init__(self, resolved, data):
+        self.resolved = resolved
+        self.schema = resolved.schema
+        self.data = data
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """The query result: a list of logical values (query order), or
+        a scalar for aggregate-rooted queries."""
+        root = self.resolved.root
+        if isinstance(root, ast.Aggregate):
+            return self.eval_expr(root, None)
+        return self.eval_set(root, None)
+
+    # ------------------------------------------------------------------
+    # value coercion against declared types
+    # ------------------------------------------------------------------
+    def _coerce(self, value, moa_type):
+        if isinstance(moa_type, ClassRef):
+            if isinstance(value, Ref):
+                return value
+            if isinstance(value, int):
+                return Ref(moa_type.class_name, value)
+            raise EvaluationError("expected a %s reference, got %r"
+                                  % (moa_type.class_name, value))
+        if isinstance(moa_type, SetType):
+            return [self._coerce(v, moa_type.element) for v in value]
+        if isinstance(moa_type, TupleType):
+            row = value if isinstance(value, Row) else Row(list(value.items()))
+            return Row([(name, self._coerce(row[name], field_type))
+                        for name, field_type in moa_type.fields])
+        return value
+
+    def _attr(self, ref, name, attr_type):
+        try:
+            record = self.data[ref.class_name][ref.oid]
+        except KeyError:
+            raise EvaluationError("dangling reference %r" % ref) from None
+        if name not in record:
+            raise EvaluationError("object %r misses attribute %r"
+                                  % (ref, name))
+        return self._coerce(record[name], attr_type)
+
+    # ------------------------------------------------------------------
+    # set-valued nodes
+    # ------------------------------------------------------------------
+    def eval_set(self, node, element):
+        value = self.eval_expr(node, element)
+        if isinstance(value, Bag):
+            return list(value.items)
+        if isinstance(value, list):
+            return value
+        raise EvaluationError("%s did not evaluate to a set"
+                              % node.render())
+
+    def eval_expr(self, node, element):
+        method = getattr(self, "_eval_%s" % type(node).__name__.lower(),
+                         None)
+        if method is None:
+            raise EvaluationError("cannot evaluate %r" % node)
+        return method(node, element)
+
+    # -- sets --------------------------------------------------------------
+    def _eval_extent(self, node, _element):
+        objects = self.data.get(node.class_name, {})
+        return [Ref(node.class_name, oid) for oid in sorted(objects)]
+
+    def _eval_select(self, node, element):
+        members = self.eval_set(node.input, element)
+        out = []
+        for member in members:
+            if all(self.eval_expr(p, member) for p in node.predicates):
+                out.append(member)
+        return out
+
+    def _eval_project(self, node, element):
+        members = self.eval_set(node.input, element)
+        if len(node.items) == 1 and node.items[0][1] is None:
+            expr = node.items[0][0]
+            return [self._as_value(self.eval_expr(expr, member))
+                    for member in members]
+        out = []
+        for member in members:
+            out.append(Row([(name, self._as_value(
+                self.eval_expr(expr, member)))
+                for expr, name in node.items]))
+        return out
+
+    def _as_value(self, value):
+        """Nested set results embed as Bags inside rows/results."""
+        if isinstance(value, list):
+            return Bag(value)
+        return value
+
+    def _eval_join(self, node, element):
+        left = self.eval_set(node.left, element)
+        right = self.eval_set(node.right, element)
+        out = []
+        right_keys = [(self._key(self.eval_expr(node.right_key, r)), r)
+                      for r in right]
+        for left_member in left:
+            left_key = self._key(self.eval_expr(node.left_key, left_member))
+            for right_key, right_member in right_keys:
+                if left_key == right_key:
+                    out.append(Row([("_1", left_member),
+                                    ("_2", right_member)]))
+        return out
+
+    def _eval_semijoin(self, node, element):
+        left = self.eval_set(node.left, element)
+        right = self.eval_set(node.right, element)
+        right_keys = {self._key(self.eval_expr(node.right_key, r))
+                      for r in right}
+        if node.anti:
+            return [l for l in left
+                    if self._key(self.eval_expr(node.left_key, l))
+                    not in right_keys]
+        return [l for l in left
+                if self._key(self.eval_expr(node.left_key, l))
+                in right_keys]
+
+    def _key(self, value):
+        """Equality key for joins/grouping (tuple-aware, float-safe)."""
+        if isinstance(value, Row):
+            return tuple(self._key(v) for v in value.values)
+        return canonical_key(value)
+
+    def _eval_setop(self, node, element):
+        left = self.eval_set(node.left, element)
+        right = self.eval_set(node.right, element)
+        left_unique, left_keys = _dedup(left, self._key)
+        right_unique, right_keys = _dedup(right, self._key)
+        if node.kind == "union":
+            extra = [r for r, k in zip(right_unique, right_keys)
+                     if k not in set(left_keys)]
+            return left_unique + extra
+        if node.kind == "difference":
+            members = set(right_keys)
+            return [l for l, k in zip(left_unique, left_keys)
+                    if k not in members]
+        members = set(right_keys)
+        return [l for l, k in zip(left_unique, left_keys) if k in members]
+
+    def _eval_nest(self, node, element):
+        members = self.eval_set(node.input, element)
+        groups = {}
+        order = []
+        for member in members:
+            key = tuple(self._key(self.eval_expr(expr, member))
+                        for expr, _name in node.keys)
+            if key not in groups:
+                groups[key] = (member, [])
+                order.append(key)
+            groups[key][1].append(member)
+        out = []
+        for key in order:
+            witness, bucket = groups[key]
+            fields = [(name, self.eval_expr(expr, witness))
+                      for expr, name in node.keys]
+            fields.append((node.group_name, Bag(bucket)))
+            out.append(Row(fields))
+        return out
+
+    def _eval_unnest(self, node, element):
+        members = self.eval_set(node.input, element)
+        inner_type = self.resolved.type_of(node.input).element
+        out = []
+        for member in members:
+            attr_type = self._element_attr_type(inner_type, node.attr)
+            if isinstance(member, Ref):
+                elements = self._attr(member, node.attr, attr_type)
+            else:
+                elements = self._coerce(member[node.attr], attr_type)
+            for sub in elements:
+                out.append(Row([("_1", member), ("_2", sub)]))
+        return out
+
+    def _element_attr_type(self, elem_type, name):
+        if isinstance(elem_type, ClassRef):
+            return self.schema.cls(elem_type.class_name).attribute(name)
+        if isinstance(elem_type, TupleType):
+            return elem_type.field(name)
+        raise EvaluationError("%s has no attributes" % elem_type.render())
+
+    def _eval_sort(self, node, element):
+        members = self.eval_set(node.input, element)
+        out = list(members)
+        # stable multi-key: sort by the last key first
+        for expr, descending in reversed(node.keys):
+            out.sort(key=lambda m, e=expr: canonical_key(
+                self.eval_expr(e, m)), reverse=descending)
+        return out
+
+    def _eval_top(self, node, element):
+        return self.eval_set(node.input, element)[:node.n]
+
+    # -- scalars -------------------------------------------------------------
+    def _eval_element(self, _node, element):
+        if element is None:
+            raise EvaluationError("%0 outside a set operation")
+        return element
+
+    def _eval_attr(self, node, element):
+        base = self.eval_expr(node.base, element)
+        base_type = self.resolved.type_of(node.base)
+        if isinstance(base, Ref):
+            return self._attr(base, node.name,
+                              self._element_attr_type(base_type, node.name))
+        if isinstance(base, Row):
+            return base[node.name]
+        raise EvaluationError("cannot access attribute %r of %r"
+                              % (node.name, base))
+
+    def _eval_pos(self, node, element):
+        base = self.eval_expr(node.base, element)
+        if not isinstance(base, Row):
+            raise EvaluationError("positional access on non-tuple %r"
+                                  % (base,))
+        return base.at(node.index)
+
+    def _eval_literal(self, node, _element):
+        return node.value
+
+    def _eval_binop(self, node, element):
+        if node.op == "and":
+            return bool(self.eval_expr(node.left, element)) \
+                and bool(self.eval_expr(node.right, element))
+        if node.op == "or":
+            return bool(self.eval_expr(node.left, element)) \
+                or bool(self.eval_expr(node.right, element))
+        left = self.eval_expr(node.left, element)
+        right = self.eval_expr(node.right, element)
+        if node.op == "=":
+            return self._key(left) == self._key(right)
+        if node.op == "!=":
+            return self._key(left) != self._key(right)
+        if node.op == "<":
+            return left < right
+        if node.op == "<=":
+            return left <= right
+        if node.op == ">":
+            return left > right
+        if node.op == ">=":
+            return left >= right
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            return left / right
+        raise EvaluationError("unknown operator %r" % node.op)
+
+    def _eval_unop(self, node, element):
+        value = self.eval_expr(node.operand, element)
+        if node.op == "not":
+            return not value
+        return -value
+
+    def _eval_call(self, node, element):
+        args = [self.eval_expr(a, element) for a in node.args]
+        if node.fname == "year":
+            return days_to_date(args[0]).year
+        if node.fname == "month":
+            return days_to_date(args[0]).month
+        if node.fname == "startswith":
+            return args[0].startswith(args[1])
+        if node.fname == "endswith":
+            return args[0].endswith(args[1])
+        if node.fname == "contains":
+            return args[1] in args[0]
+        if node.fname == "ifthenelse":
+            return args[1] if args[0] else args[2]
+        raise EvaluationError("unknown function %r" % node.fname)
+
+    def _eval_aggregate(self, node, element):
+        members = self.eval_set(node.input, element)
+        if node.func == "count":
+            return len(members)
+        if not members:
+            return 0 if node.func == "sum" else None
+        if node.func == "sum":
+            return sum(members)
+        if node.func == "avg":
+            return sum(members) / len(members)
+        if node.func == "min":
+            return min(members)
+        return max(members)
+
+    def _eval_tuplecons(self, node, element):
+        return Row([(name, self._as_value(self.eval_expr(expr, element)))
+                    for expr, name in node.items])
+
+    def _eval_in(self, node, element):
+        item = self._key(self.eval_expr(node.item, element))
+        members = self.eval_set(node.input, element)
+        return any(self._key(m) == item for m in members)
+
+
+def _dedup(values, key_fn):
+    seen = set()
+    unique = []
+    keys = []
+    for value in values:
+        key = key_fn(value)
+        if key not in seen:
+            seen.add(key)
+            unique.append(value)
+            keys.append(key)
+    return unique, keys
+
+
+def evaluate(resolved, data):
+    """Run the reference evaluator; returns a list of logical values."""
+    return Evaluator(resolved, data).run()

@@ -1,0 +1,305 @@
+"""Flattening: full vertical decomposition of objects into BATs.
+
+Implements the mapping of paper section 3.3 / Figure 3 with the
+naming conventions of the TPC-D discussion (section 6):
+
+====================================  =================================
+logical construct                     BATs created
+====================================  =================================
+class ``C`` extent                    ``C``            BAT[oid, void]
+base/ref attribute ``a``              ``C_a``          BAT[oid, value]
+set attribute of simple elements      ``C_a``          BAT[oid, value]
+  (the SET(A) optimisation)             (0..n BUNs per owner)
+set attribute of tuples               ``C_a``          BAT[oid, elemid]
+                                      ``C_a_f``        BAT[elemid, value]
+                                        per tuple field f (synced)
+tuple attribute                       ``C_a_f``        BAT[oid, value]
+====================================  =================================
+
+All attribute BATs of one class are bulk-loaded in oid order with a
+shared alignment token, so the kernel knows they are mutually *synced*
+("this utility correctly sets the properties key, ordered, and synced",
+section 6).  The structure expression for each class — e.g. the
+paper's ``SET(Supplier, OBJECT(...))`` — is produced by
+:meth:`FlattenedDatabase.class_rep`.
+"""
+
+from ..errors import MappingError
+from ..monet import atoms as _atoms
+from ..monet.mil import Var
+from .schema import Schema
+from .structures import (AtomRep, InlineAtomRep, InlineRefRep, Mirrored,
+                         ObjectRep, RefRep, SetRep, TupleRep)
+from .types import BaseType, ClassRef, SetType, TupleType
+from .values import Ref, Row
+
+
+class FlattenedDatabase:
+    """A schema mapped onto a kernel catalog, plus the logical data.
+
+    The logical store (``data``) is kept as the evaluator's input, so
+    the two gray paths of Figure 6 start from the same value.
+    """
+
+    def __init__(self, schema, kernel, data):
+        self.schema = schema
+        self.kernel = kernel
+        self.data = data
+
+    # -- naming convention ------------------------------------------------
+    def extent_name(self, class_name):
+        return class_name
+
+    def attr_bat_name(self, class_name, attr):
+        return "%s_%s" % (class_name, attr)
+
+    def field_bat_name(self, class_name, attr, field):
+        return "%s_%s_%s" % (class_name, attr, field)
+
+    # -- structure expressions --------------------------------------------
+    def class_rep(self, class_name):
+        """``SET(extent, OBJECT(class))`` for one class extent."""
+        extent = Mirrored(Var(self.extent_name(class_name)))
+        return SetRep(extent, ObjectRep(class_name))
+
+    def attribute_rep(self, class_name, attr):
+        """The rep of one attribute, as a function of object oids."""
+        attr_type = self.schema.cls(class_name).attribute(attr)
+        source = Var(self.attr_bat_name(class_name, attr))
+        return self._type_rep(attr_type, source, class_name, attr)
+
+    def _type_rep(self, attr_type, source, class_name, attr):
+        if isinstance(attr_type, BaseType):
+            return AtomRep(source, attr_type.atom.name)
+        if isinstance(attr_type, ClassRef):
+            return RefRep(source, attr_type.class_name)
+        if isinstance(attr_type, SetType):
+            element = attr_type.element
+            if isinstance(element, BaseType):
+                return SetRep(source, InlineAtomRep(element.atom.name))
+            if isinstance(element, ClassRef):
+                return SetRep(source, InlineRefRep(element.class_name))
+            if isinstance(element, TupleType):
+                fields = []
+                for field_name, field_type in element.fields:
+                    field_source = Var(self.field_bat_name(
+                        class_name, attr, field_name))
+                    fields.append((field_name, self._type_rep(
+                        field_type, field_source, class_name,
+                        "%s_%s" % (attr, field_name))))
+                return SetRep(source, TupleRep(fields))
+            raise MappingError("unsupported set element type %r"
+                               % element)
+        if isinstance(attr_type, TupleType):
+            fields = []
+            for field_name, field_type in attr_type.fields:
+                field_source = Var(self.field_bat_name(
+                    class_name, attr, field_name))
+                fields.append((field_name, self._type_rep(
+                    field_type, field_source, class_name,
+                    "%s_%s" % (attr, field_name))))
+            return TupleRep(fields)
+        raise MappingError("unsupported attribute type %r" % attr_type)
+
+
+def _atom_of(base_type):
+    return base_type.atom.name
+
+
+def _ref_oid(value, target_class):
+    if isinstance(value, Ref):
+        if value.class_name != target_class:
+            raise MappingError("reference to %s where %s expected"
+                               % (value.class_name, target_class))
+        return value.oid
+    if isinstance(value, int):
+        return value
+    raise MappingError("cannot interpret %r as a %s reference"
+                       % (value, target_class))
+
+
+def _row_of(value):
+    if isinstance(value, Row):
+        return value
+    if isinstance(value, dict):
+        return Row(list(value.items()))
+    raise MappingError("cannot interpret %r as a tuple value" % (value,))
+
+
+def flatten(schema, data, kernel, datavectors=False, reorder=False):
+    """Vertically decompose ``data`` into ``kernel`` BATs.
+
+    ``data`` maps class name -> {oid -> {attr -> logical value}}.
+    When ``datavectors`` is set, the section 6 accelerator pipeline
+    also runs (extents exist regardless); ``reorder`` additionally
+    re-sorts all plain attribute BATs on tail values.
+    Returns a :class:`FlattenedDatabase`.
+    """
+    if not isinstance(schema, Schema):
+        raise MappingError("flatten needs a Schema")
+    schema.validate()
+    flat = FlattenedDatabase(schema, kernel, data)
+    for class_name, definition in schema.classes.items():
+        objects = data.get(class_name, {})
+        oids = sorted(objects)
+        _load_extent(kernel, flat, class_name, oids)
+        for attr, attr_type in definition.attributes:
+            _load_attribute(kernel, flat, class_name, attr, attr_type,
+                            objects, oids)
+    if datavectors:
+        create_datavectors(flat)
+    if reorder:
+        reorder_on_tail(flat)
+    return flat
+
+
+def _load_extent(kernel, flat, class_name, oids):
+    # extent[oid, void], per section 6
+    from ..monet.bat import BAT
+    from ..monet.column import VoidColumn, column_from_values
+    from ..monet.properties import compute_props
+    name = flat.extent_name(class_name)
+    head = column_from_values("oid", oids, label=name + ".head")
+    extent = BAT(head, VoidColumn(0, len(oids)),
+                 alignment=kernel.group_alignment(class_name))
+    extent.props = compute_props(extent)
+    from ..monet.kernel import mark_persistent
+    mark_persistent(extent)
+    kernel.register(name, extent)
+
+
+def _load_attribute(kernel, flat, class_name, attr, attr_type, objects,
+                    oids):
+    name = flat.attr_bat_name(class_name, attr)
+    if isinstance(attr_type, BaseType):
+        values = [_attr_value(objects, oid, attr, class_name)
+                  for oid in oids]
+        kernel.bulk_load(name, "oid", oids, _atom_of(attr_type), values,
+                         group=class_name)
+        return
+    if isinstance(attr_type, ClassRef):
+        values = [_ref_oid(_attr_value(objects, oid, attr, class_name),
+                           attr_type.class_name) for oid in oids]
+        kernel.bulk_load(name, "oid", oids, "oid", values,
+                         group=class_name)
+        return
+    if isinstance(attr_type, SetType):
+        _load_set_attribute(kernel, flat, class_name, attr, attr_type,
+                            objects, oids, name)
+        return
+    if isinstance(attr_type, TupleType):
+        for field_name, field_type in attr_type.fields:
+            field_bat = flat.field_bat_name(class_name, attr, field_name)
+            rows = [_row_of(_attr_value(objects, oid, attr, class_name))
+                    for oid in oids]
+            if isinstance(field_type, BaseType):
+                values = [row[field_name] for row in rows]
+                kernel.bulk_load(field_bat, "oid", oids,
+                                 _atom_of(field_type), values,
+                                 group=class_name)
+            elif isinstance(field_type, ClassRef):
+                values = [_ref_oid(row[field_name], field_type.class_name)
+                          for row in rows]
+                kernel.bulk_load(field_bat, "oid", oids, "oid", values,
+                                 group=class_name)
+            else:
+                raise MappingError(
+                    "%s.%s.%s: nested structures inside plain tuple "
+                    "attributes are not supported"
+                    % (class_name, attr, field_name))
+        return
+    raise MappingError("unsupported attribute type for %s.%s"
+                       % (class_name, attr))
+
+
+def _load_set_attribute(kernel, flat, class_name, attr, attr_type,
+                        objects, oids, name):
+    element = attr_type.element
+    group = "%s:%s" % (class_name, attr)
+    if isinstance(element, BaseType):
+        owners, values = _gather_set(objects, oids, attr, class_name)
+        kernel.bulk_load(name, "oid", owners, _atom_of(element), values,
+                         group=group)
+        return
+    if isinstance(element, ClassRef):
+        owners, values = _gather_set(objects, oids, attr, class_name)
+        ref_oids = [_ref_oid(v, element.class_name) for v in values]
+        kernel.bulk_load(name, "oid", owners, "oid", ref_oids,
+                         group=group)
+        return
+    if isinstance(element, TupleType):
+        owners, values = _gather_set(objects, oids, attr, class_name)
+        elem_ids = list(range(len(values)))
+        kernel.bulk_load(name, "oid", owners, "oid", elem_ids, group=group)
+        rows = [_row_of(v) for v in values]
+        for field_name, field_type in element.fields:
+            field_bat = flat.field_bat_name(class_name, attr, field_name)
+            if isinstance(field_type, BaseType):
+                field_values = [row[field_name] for row in rows]
+                kernel.bulk_load(field_bat, "oid", elem_ids,
+                                 _atom_of(field_type), field_values,
+                                 group=group)
+            elif isinstance(field_type, ClassRef):
+                field_values = [_ref_oid(row[field_name],
+                                         field_type.class_name)
+                                for row in rows]
+                kernel.bulk_load(field_bat, "oid", elem_ids, "oid",
+                                 field_values, group=group)
+            else:
+                raise MappingError(
+                    "%s.%s.%s: doubly nested sets are not supported"
+                    % (class_name, attr, field_name))
+        return
+    raise MappingError("unsupported set element type for %s.%s"
+                       % (class_name, attr))
+
+
+def _attr_value(objects, oid, attr, class_name):
+    try:
+        record = objects[oid]
+    except KeyError:
+        raise MappingError("no object %d in class %s"
+                           % (oid, class_name)) from None
+    if attr not in record:
+        raise MappingError("object %s:%d misses attribute %r"
+                           % (class_name, oid, attr))
+    return record[attr]
+
+
+def _gather_set(objects, oids, attr, class_name):
+    owners = []
+    values = []
+    for oid in oids:
+        elements = _attr_value(objects, oid, attr, class_name)
+        for element in elements:
+            owners.append(oid)
+            values.append(element)
+    return owners, values
+
+
+def create_datavectors(flat):
+    """Section 6: extents already exist; build value vectors per class.
+
+    Only plain (non-set) attribute BATs get datavectors — they are the
+    ``[oid, value]`` tables the OLAP value phase semijoins against.
+    """
+    kernel = flat.kernel
+    for class_name, definition in flat.schema.classes.items():
+        attr_names = []
+        for attr, attr_type in definition.attributes:
+            if isinstance(attr_type, (BaseType, ClassRef)):
+                attr_names.append(flat.attr_bat_name(class_name, attr))
+        kernel.create_datavectors(class_name, attr_names,
+                                  extent_name=flat.extent_name(class_name))
+
+
+def reorder_on_tail(flat):
+    """Section 6: re-sort plain attribute BATs on tail values."""
+    kernel = flat.kernel
+    names = []
+    for class_name, definition in flat.schema.classes.items():
+        for attr, attr_type in definition.attributes:
+            if isinstance(attr_type, (BaseType, ClassRef)):
+                names.append(flat.attr_bat_name(class_name, attr))
+    kernel.reorder_on_tail(names)
+    return names

@@ -1,0 +1,371 @@
+"""Parser for the textual MOA syntax used in the paper.
+
+The grammar follows the paper's examples::
+
+    select[=(order.clerk, "Clerk#000000088"), =(returnflag, 'R')](Item)
+    project[<year(order.orderdate) : date,
+             *(extendedprice, -(1.0, discount)) : revenue>](...)
+    nest[date](...)
+    project[<%name, select[=(%available, 0)](%supplies)>](Supplier)
+
+Operators are written in prefix form (``=(a, b)``, ``*(a, b)``);
+``%name`` / ``%1`` access attributes and tuple positions of the
+current element; bare identifiers are left as :class:`~.ast.Name`
+nodes for the resolver (they may be attributes or class extents).
+Extensions: ``sort[e asc|desc, ...](X)``, ``top[n](X)``,
+``date("1998-09-02")`` literals, ``in(e, X)``.
+"""
+
+import re
+
+from ..errors import ParseError
+from ..monet.atoms import date_to_days
+from . import ast
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<string>"[^"]*")
+  | (?P<char>'[^']')
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|[=<>+\-*/])
+  | (?P<sym>[\[\]\(\),:%.])
+""", re.VERBOSE)
+
+_SET_OPS = ("select", "project", "join", "semijoin", "antijoin", "nest",
+            "unnest", "sort", "top")
+_BINARY_SET_OPS = ("union", "difference", "intersection")
+_AGGREGATES = ast.Aggregate.FUNCS
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+_ARITHMETIC = ("+", "-", "*", "/")
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind, text, position):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self):
+        return "%s(%r)" % (self.kind, self.text)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character %r" % text[position],
+                             position, text)
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------
+    def peek(self, offset=0):
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, text):
+        token = self.next()
+        if token.text != text:
+            raise ParseError("expected %r, found %r" % (text, token.text),
+                             token.position, self.text)
+        return token
+
+    def at(self, text):
+        return self.peek().text == text
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(message + " (found %r)" % token.text,
+                         token.position, self.text)
+
+    # -- entry ------------------------------------------------------------
+    def parse(self):
+        expr = self.parse_expr()
+        if self.peek().kind != "eof":
+            self.error("trailing input after expression")
+        return expr
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self):
+        return self._suffixes(self._primary())
+
+    def _primary(self):
+        token = self.peek()
+        if token.kind == "op":
+            # '<' opens a tuple constructor unless applied as '<(a, b)'
+            if token.text == "<" and self.peek(1).text != "(":
+                return self._tuple_cons()
+            return self._prefix_op()
+        if token.kind == "string":
+            self.next()
+            return ast.Literal(token.text[1:-1], "string")
+        if token.kind == "char":
+            self.next()
+            return ast.Literal(token.text[1:-1], "char")
+        if token.kind == "number":
+            self.next()
+            if "." in token.text:
+                return ast.Literal(float(token.text), "double")
+            return ast.Literal(int(token.text), "int")
+        if token.text == "%":
+            return self._percent()
+        if token.text == "<":
+            return self._tuple_cons()
+        if token.kind == "ident":
+            return self._ident()
+        self.error("expected an expression")
+
+    def _prefix_op(self):
+        token = self.next()
+        op = token.text
+        if not self.at("("):
+            # '<' not followed by '(' means a tuple constructor was
+            # mis-tokenised; only reachable for stray operators
+            self.error("operator %r must be applied as %s(...)" % (op, op))
+        args = self._paren_args()
+        if op in _COMPARISONS or op in _ARITHMETIC:
+            if len(args) != 2:
+                self.error("operator %r takes two arguments" % op)
+            return ast.BinOp(op, args[0], args[1])
+        self.error("unknown operator %r" % op)
+
+    def _percent(self):
+        self.expect("%")
+        token = self.next()
+        if token.kind == "number":
+            index = int(token.text)
+            if index == 0:
+                return ast.Element()
+            return ast.Pos(ast.Element(), index)
+        if token.kind == "ident":
+            return ast.Attr(ast.Element(), token.text)
+        raise ParseError("expected attribute or position after %%",
+                         token.position, self.text)
+
+    def _tuple_cons(self):
+        start = self.peek()
+        # '<' directly followed by '(' is the less-than operator and is
+        # handled by _prefix_op through the 'op' token kind; reaching
+        # here means a genuine tuple constructor.
+        self.expect("<")
+        items = self._item_list(">")
+        self.expect(">")
+        if not items:
+            raise ParseError("empty tuple constructor", start.position,
+                             self.text)
+        return ast.TupleCons(items)
+
+    def _at_closer(self, closer):
+        if self.peek().text != closer:
+            return False
+        # '>' only closes when not applied as the '>(a, b)' operator
+        return closer != ">" or self.peek(1).text != "("
+
+    def _item_list(self, closer):
+        """``expr (: name)?`` items separated by commas."""
+        items = []
+        while not self._at_closer(closer):
+            expr = self.parse_expr()
+            name = None
+            if self.at(":"):
+                self.next()
+                name_token = self.next()
+                if name_token.kind != "ident":
+                    raise ParseError("expected a field name after ':'",
+                                     name_token.position, self.text)
+                name = name_token.text
+            items.append((expr, name))
+            if self.at(","):
+                self.next()
+            elif not self._at_closer(closer):
+                self.error("expected ',' or %r in item list" % closer)
+        return items
+
+    def _ident(self):
+        token = self.next()
+        name = token.text
+        if name in _SET_OPS and self.at("["):
+            return self._set_op(name)
+        if name in _BINARY_SET_OPS and self.at("("):
+            args = self._paren_args()
+            if len(args) != 2:
+                self.error("%s takes two set arguments" % name)
+            return ast.SetOp(name, args[0], args[1])
+        if name in ("and", "or") and self.at("("):
+            args = self._paren_args()
+            if len(args) != 2:
+                self.error("%s takes two arguments" % name)
+            return ast.BinOp(name, args[0], args[1])
+        if name in ("not", "neg") and self.at("("):
+            args = self._paren_args()
+            if len(args) != 1:
+                self.error("%s takes one argument" % name)
+            return ast.UnOp(name, args[0])
+        if name in _AGGREGATES and self.at("("):
+            args = self._paren_args()
+            if len(args) != 1:
+                self.error("aggregate %s takes one set argument" % name)
+            return ast.Aggregate(name, args[0])
+        if name == "date" and self.at("("):
+            args_start = self.peek()
+            args = self._paren_args()
+            if len(args) != 1 or not isinstance(args[0], ast.Literal) \
+                    or args[0].atom_name != "string":
+                raise ParseError('date literal must be date("YYYY-MM-DD")',
+                                 args_start.position, self.text)
+            return ast.Literal(date_to_days(args[0].value), "instant")
+        if name == "in" and self.at("("):
+            args = self._paren_args()
+            if len(args) != 2:
+                self.error("in takes (element, set)")
+            return ast.In(args[0], args[1])
+        if name in ("true", "false"):
+            return ast.Literal(name == "true", "bool")
+        if self.at("("):
+            args = self._paren_args()
+            return ast.Call(name, args)
+        return ast.Name(name)
+
+    def _paren_args(self):
+        self.expect("(")
+        args = []
+        while not self.at(")"):
+            args.append(self.parse_expr())
+            if self.at(","):
+                self.next()
+            elif not self.at(")"):
+                self.error("expected ',' or ')' in argument list")
+        self.expect(")")
+        return args
+
+    def _suffixes(self, expr):
+        while self.at("."):
+            self.next()
+            token = self.next()
+            if token.text == "%":
+                pos_token = self.next()
+                if pos_token.kind != "number":
+                    raise ParseError("expected position after '.%'",
+                                     pos_token.position, self.text)
+                expr = ast.Pos(expr, int(pos_token.text))
+            elif token.kind == "ident":
+                expr = ast.Attr(expr, token.text)
+            else:
+                raise ParseError("expected attribute name after '.'",
+                                 token.position, self.text)
+        return expr
+
+    # -- set operators ----------------------------------------------------
+    def _set_op(self, name):
+        self.expect("[")
+        if name == "select":
+            predicates = []
+            while not self.at("]"):
+                predicates.append(self.parse_expr())
+                if self.at(","):
+                    self.next()
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("select takes one set argument")
+            if not predicates:
+                self.error("select needs at least one predicate")
+            return ast.Select(inputs[0], predicates)
+        if name == "project":
+            item_expr = self.parse_expr()
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("project takes one set argument")
+            if isinstance(item_expr, ast.TupleCons):
+                return ast.Project(inputs[0], item_expr.items)
+            return ast.Project(inputs[0], [(item_expr, None)])
+        if name in ("join", "semijoin", "antijoin"):
+            left_key = self.parse_expr()
+            self.expect(",")
+            right_key = self.parse_expr()
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 2:
+                self.error("%s takes two set arguments" % name)
+            if name == "join":
+                return ast.Join(inputs[0], inputs[1], left_key, right_key)
+            return ast.Semijoin(inputs[0], inputs[1], left_key, right_key,
+                                anti=(name == "antijoin"))
+        if name == "nest":
+            keys = self._item_list("]")
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("nest takes one set argument")
+            if not keys:
+                self.error("nest needs at least one key")
+            return ast.Nest(inputs[0], keys)
+        if name == "unnest":
+            attr_token = self.next()
+            if attr_token.text == "%":
+                attr_token = self.next()
+            if attr_token.kind != "ident":
+                raise ParseError("unnest needs an attribute name",
+                                 attr_token.position, self.text)
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("unnest takes one set argument")
+            return ast.Unnest(inputs[0], attr_token.text)
+        if name == "sort":
+            keys = []
+            while not self.at("]"):
+                expr = self.parse_expr()
+                descending = False
+                if self.peek().text in ("asc", "desc"):
+                    descending = self.next().text == "desc"
+                keys.append((expr, descending))
+                if self.at(","):
+                    self.next()
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("sort takes one set argument")
+            if not keys:
+                self.error("sort needs at least one key")
+            return ast.Sort(inputs[0], keys)
+        if name == "top":
+            count_token = self.next()
+            if count_token.kind != "number" or "." in count_token.text:
+                raise ParseError("top needs an integer count",
+                                 count_token.position, self.text)
+            self.expect("]")
+            inputs = self._paren_args()
+            if len(inputs) != 1:
+                self.error("top takes one set argument")
+            return ast.Top(inputs[0], int(count_token.text))
+        self.error("unknown set operator %r" % name)
+
+
+def parse(text):
+    """Parse a MOA query text into an (unresolved) AST."""
+    return Parser(text).parse()

@@ -1,0 +1,121 @@
+"""MOA schemas: class definitions and their validation.
+
+A :class:`Schema` is a collection of named classes; each class has
+ordered, typed attributes (Figure 1 of the paper shows the TPC-D
+schema in this form).  A small builder DSL keeps definitions close to
+the paper's syntax::
+
+    schema = Schema()
+    schema.define("Region", [("name", STRING), ("comment", STRING)])
+    schema.define("Nation", [("name", STRING), ("region", ref("Region"))])
+
+Validation checks that every :class:`~repro.moa.types.ClassRef` target
+exists (cycles are fine: Order.cust / Customer.orders).
+"""
+
+from ..errors import SchemaError
+from .types import BaseType, ClassRef, MOAType, SetType, TupleType
+
+
+class ClassDef:
+    """One class: a name plus ordered attribute list."""
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name, attributes):
+        names = [attr_name for attr_name, _t in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("class %s: duplicate attribute names" % name)
+        for attr_name, attr_type in attributes:
+            if not isinstance(attr_type, MOAType):
+                raise SchemaError("class %s.%s: %r is not a MOA type"
+                                  % (name, attr_name, attr_type))
+        self.name = name
+        self.attributes = tuple(attributes)
+
+    def attribute(self, attr_name):
+        for name, attr_type in self.attributes:
+            if name == attr_name:
+                return attr_type
+        raise SchemaError("class %s has no attribute %r"
+                          % (self.name, attr_name))
+
+    def has_attribute(self, attr_name):
+        return any(name == attr_name for name, _t in self.attributes)
+
+    def attribute_names(self):
+        return [name for name, _t in self.attributes]
+
+    def render(self):
+        lines = ["class %s <" % self.name]
+        for name, attr_type in self.attributes:
+            lines.append("    %s : %s," % (name, attr_type.render()))
+        lines[-1] = lines[-1].rstrip(",") + " >;"
+        return "\n".join(lines)
+
+
+class Schema:
+    """An ordered collection of class definitions."""
+
+    def __init__(self):
+        self.classes = {}
+
+    def define(self, name, attributes):
+        """Add a class; attributes is a list of (name, MOAType)."""
+        if name in self.classes:
+            raise SchemaError("class %s already defined" % name)
+        definition = ClassDef(name, attributes)
+        self.classes[name] = definition
+        return definition
+
+    def cls(self, name):
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise SchemaError("unknown class %r" % name) from None
+
+    def has_class(self, name):
+        return name in self.classes
+
+    def class_names(self):
+        return list(self.classes)
+
+    def validate(self):
+        """Check all class references resolve; returns self."""
+        for definition in self.classes.values():
+            for attr_name, attr_type in definition.attributes:
+                self._check_refs(attr_type,
+                                 "%s.%s" % (definition.name, attr_name))
+        return self
+
+    def _check_refs(self, moa_type, where):
+        if isinstance(moa_type, ClassRef):
+            if moa_type.class_name not in self.classes:
+                raise SchemaError("%s references unknown class %r"
+                                  % (where, moa_type.class_name))
+        elif isinstance(moa_type, SetType):
+            self._check_refs(moa_type.element, where)
+        elif isinstance(moa_type, TupleType):
+            for field_name, field_type in moa_type.fields:
+                self._check_refs(field_type, "%s.%s" % (where, field_name))
+        elif not isinstance(moa_type, BaseType):
+            raise SchemaError("%s has unsupported type %r"
+                              % (where, moa_type))
+
+    def render(self):
+        return "\n\n".join(d.render() for d in self.classes.values())
+
+
+def ref(class_name):
+    """Shorthand for a class reference type."""
+    return ClassRef(class_name)
+
+
+def setof(element):
+    """Shorthand for a set type."""
+    return SetType(element)
+
+
+def tupleof(*fields):
+    """Shorthand for a tuple type from (name, type) pairs."""
+    return TupleType(fields)

@@ -1,0 +1,442 @@
+"""Name resolution and type checking of MOA queries.
+
+The parser leaves bare identifiers as :class:`~.ast.Name` nodes: in
+``select[=(order.clerk, "..."), =(returnflag, 'R')](Item)`` both
+``order`` and ``returnflag`` are attributes of the Item element, while
+``Item`` is a class extent.  The resolver rewrites every Name into
+``Attr(Element, n)`` or ``Extent(n)`` using the schema, computes the
+MOA type of every node, and rejects ill-typed queries.
+
+The result is a :class:`ResolvedQuery`: the rewritten tree plus a
+node -> type map that the MIL rewriter and the reference evaluator
+both consume (so they agree on the meaning of every expression).
+"""
+
+from ..errors import TypeCheckError
+from ..monet import atoms as _atoms
+from . import ast
+from .types import (BOOLEAN, DOUBLE, INT, LONG, BaseType, ClassRef,
+                    MOAType, SetType, TupleType, is_comparable, is_numeric)
+
+#: scalar call signatures: fname -> (argument atom kinds, result type)
+_CALLS = {
+    "year": (("instant",), INT),
+    "month": (("instant",), INT),
+    "startswith": (("string", "string"), BOOLEAN),
+    "endswith": (("string", "string"), BOOLEAN),
+    "contains": (("string", "string"), BOOLEAN),
+}
+
+#: the positional-pair field names minted by join and unnest
+PAIR_FIELDS = ("_1", "_2")
+
+
+class ResolvedQuery:
+    """A resolved, typed MOA query."""
+
+    def __init__(self, root, types, schema):
+        self.root = root
+        self._types = types
+        self.schema = schema
+
+    def type_of(self, node):
+        try:
+            return self._types[id(node)]
+        except KeyError:
+            raise TypeCheckError("node %r was not typed" % node) from None
+
+    @property
+    def result_type(self):
+        return self.type_of(self.root)
+
+
+class Resolver:
+    """Single-pass resolver; see module docstring."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.types = {}
+
+    def resolve(self, root):
+        if isinstance(root, ast.Aggregate):
+            # scalar queries: an aggregate over a top-level set
+            new_root, _root_type = self.resolve_expr(root, None)
+            return ResolvedQuery(new_root, self.types, self.schema)
+        new_root, root_type = self.resolve_set(root, None)
+        if not isinstance(root_type, SetType):
+            raise TypeCheckError("a MOA query must be set-valued, got %s"
+                                 % root_type.render())
+        return ResolvedQuery(new_root, self.types, self.schema)
+
+    # ------------------------------------------------------------------
+    def _note(self, node, moa_type):
+        self.types[id(node)] = moa_type
+        return node, moa_type
+
+    def element_attr_type(self, elem_type, name):
+        """Type of attribute ``name`` on a set element, or None."""
+        if isinstance(elem_type, ClassRef):
+            definition = self.schema.cls(elem_type.class_name)
+            if definition.has_attribute(name):
+                return definition.attribute(name)
+            return None
+        if isinstance(elem_type, TupleType):
+            if elem_type.has_field(name):
+                return elem_type.field(name)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # set expressions
+    # ------------------------------------------------------------------
+    def resolve_set(self, node, elem_type):
+        """Resolve a node that must produce a set value."""
+        new_node, node_type = self.resolve_expr(node, elem_type)
+        if not isinstance(node_type, SetType):
+            raise TypeCheckError("%s is not set-valued (type %s)"
+                                 % (new_node.render(), node_type.render()))
+        return new_node, node_type
+
+    # ------------------------------------------------------------------
+    # expressions (both scalar- and set-valued)
+    # ------------------------------------------------------------------
+    def resolve_expr(self, node, elem_type):
+        method = getattr(self, "_resolve_%s" % type(node).__name__.lower(),
+                         None)
+        if method is None:
+            raise TypeCheckError("cannot resolve %r" % node)
+        return method(node, elem_type)
+
+    def _resolve_name(self, node, elem_type):
+        if elem_type is not None:
+            attr_type = self.element_attr_type(elem_type, node.name)
+            if attr_type is not None:
+                element = ast.Element()
+                self.types[id(element)] = elem_type
+                return self._note(ast.Attr(element, node.name), attr_type)
+        if self.schema.has_class(node.name):
+            return self._note(ast.Extent(node.name),
+                              SetType(ClassRef(node.name)))
+        raise TypeCheckError(
+            "unknown name %r (neither an attribute of %s nor a class)"
+            % (node.name, elem_type.render() if elem_type else "<no scope>"))
+
+    def _resolve_extent(self, node, _elem_type):
+        if not self.schema.has_class(node.class_name):
+            raise TypeCheckError("unknown class %r" % node.class_name)
+        return self._note(ast.Extent(node.class_name),
+                          SetType(ClassRef(node.class_name)))
+
+    def _resolve_element(self, node, elem_type):
+        if elem_type is None:
+            raise TypeCheckError("%0 used outside a set operation")
+        return self._note(ast.Element(), elem_type)
+
+    def _resolve_attr(self, node, elem_type):
+        new_base, base_type = self.resolve_expr(node.base, elem_type)
+        attr_type = None
+        if isinstance(base_type, ClassRef):
+            definition = self.schema.cls(base_type.class_name)
+            if definition.has_attribute(node.name):
+                attr_type = definition.attribute(node.name)
+        elif isinstance(base_type, TupleType):
+            if base_type.has_field(node.name):
+                attr_type = base_type.field(node.name)
+        if attr_type is None:
+            raise TypeCheckError("%s has no attribute %r"
+                                 % (base_type.render(), node.name))
+        return self._note(ast.Attr(new_base, node.name), attr_type)
+
+    def _resolve_pos(self, node, elem_type):
+        new_base, base_type = self.resolve_expr(node.base, elem_type)
+        if not isinstance(base_type, TupleType):
+            raise TypeCheckError("positional access %%%d on non-tuple %s"
+                                 % (node.index, base_type.render()))
+        _name, field_type = base_type.field_at(node.index)
+        return self._note(ast.Pos(new_base, node.index), field_type)
+
+    def _resolve_literal(self, node, _elem_type):
+        return self._note(ast.Literal(node.value, node.atom_name),
+                          BaseType(node.atom_name))
+
+    def _resolve_binop(self, node, elem_type):
+        new_left, left_type = self.resolve_expr(node.left, elem_type)
+        new_right, right_type = self.resolve_expr(node.right, elem_type)
+        out = ast.BinOp(node.op, new_left, new_right)
+        if node.op in ("and", "or"):
+            if left_type != BOOLEAN or right_type != BOOLEAN:
+                raise TypeCheckError("%s needs boolean operands" % node.op)
+            return self._note(out, BOOLEAN)
+        if node.op in ("+", "-", "*"):
+            result = self._numeric_result(left_type, right_type, node.op)
+            return self._note(out, result)
+        if node.op == "/":
+            self._numeric_result(left_type, right_type, node.op)
+            return self._note(out, DOUBLE)
+        # comparisons
+        self._check_comparable(left_type, right_type, node.op)
+        return self._note(out, BOOLEAN)
+
+    def _numeric_result(self, left_type, right_type, op):
+        if not (is_numeric(left_type) and is_numeric(right_type)):
+            raise TypeCheckError("%s needs numeric operands, got %s and %s"
+                                 % (op, left_type.render(),
+                                    right_type.render()))
+        atom = _atoms.common_numeric(left_type.atom, right_type.atom)
+        return BaseType(atom.name)
+
+    def _check_comparable(self, left_type, right_type, op):
+        if isinstance(left_type, ClassRef) and op in ("=", "!="):
+            if left_type != right_type:
+                raise TypeCheckError("cannot compare %s with %s"
+                                     % (left_type.render(),
+                                        right_type.render()))
+            return
+        if not (is_comparable(left_type) and is_comparable(right_type)):
+            raise TypeCheckError("%s needs comparable operands, got %s, %s"
+                                 % (op, left_type.render(),
+                                    right_type.render()))
+        if is_numeric(left_type) and is_numeric(right_type):
+            return
+        if left_type != right_type:
+            raise TypeCheckError("cannot compare %s with %s"
+                                 % (left_type.render(), right_type.render()))
+
+    def _resolve_unop(self, node, elem_type):
+        new_operand, operand_type = self.resolve_expr(node.operand,
+                                                      elem_type)
+        out = ast.UnOp(node.op, new_operand)
+        if node.op == "not":
+            if operand_type != BOOLEAN:
+                raise TypeCheckError("not needs a boolean operand")
+            return self._note(out, BOOLEAN)
+        if not is_numeric(operand_type):
+            raise TypeCheckError("neg needs a numeric operand")
+        return self._note(out, operand_type)
+
+    def _resolve_call(self, node, elem_type):
+        if node.fname == "ifthenelse":
+            return self._resolve_ifthenelse(node, elem_type)
+        signature = _CALLS.get(node.fname)
+        if signature is None:
+            raise TypeCheckError("unknown function %r" % node.fname)
+        arg_atoms, result = signature
+        if len(node.args) != len(arg_atoms):
+            raise TypeCheckError("%s takes %d arguments"
+                                 % (node.fname, len(arg_atoms)))
+        new_args = []
+        for arg, expected in zip(node.args, arg_atoms):
+            new_arg, arg_type = self.resolve_expr(arg, elem_type)
+            if not isinstance(arg_type, BaseType) \
+                    or arg_type.atom.name != expected:
+                raise TypeCheckError("%s expects a %s argument, got %s"
+                                     % (node.fname, expected,
+                                        arg_type.render()))
+            new_args.append(new_arg)
+        return self._note(ast.Call(node.fname, new_args), result)
+
+    def _resolve_ifthenelse(self, node, elem_type):
+        """``ifthenelse(cond, a, b)``: polymorphic (bool, T, T) -> T."""
+        if len(node.args) != 3:
+            raise TypeCheckError("ifthenelse takes (condition, then, else)")
+        new_cond, cond_type = self.resolve_expr(node.args[0], elem_type)
+        if cond_type != BOOLEAN:
+            raise TypeCheckError("ifthenelse condition must be boolean")
+        new_then, then_type = self.resolve_expr(node.args[1], elem_type)
+        new_else, else_type = self.resolve_expr(node.args[2], elem_type)
+        if is_numeric(then_type) and is_numeric(else_type):
+            atom = _atoms.common_numeric(then_type.atom, else_type.atom)
+            result = BaseType(atom.name)
+        elif then_type == else_type:
+            result = then_type
+        else:
+            raise TypeCheckError("ifthenelse branches have incompatible "
+                                 "types %s and %s"
+                                 % (then_type.render(), else_type.render()))
+        return self._note(ast.Call("ifthenelse",
+                                   [new_cond, new_then, new_else]), result)
+
+    def _resolve_aggregate(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        element = input_type.element
+        out = ast.Aggregate(node.func, new_input)
+        if node.func == "count":
+            return self._note(out, LONG)
+        if node.func in ("sum", "avg"):
+            if not is_numeric(element):
+                raise TypeCheckError("%s over non-numeric set %s"
+                                     % (node.func, input_type.render()))
+            if node.func == "avg":
+                return self._note(out, DOUBLE)
+            atom = element.atom.name
+            return self._note(out, LONG if atom in ("short", "int", "long")
+                              else DOUBLE)
+        # min / max
+        if not isinstance(element, BaseType):
+            raise TypeCheckError("%s needs base-typed elements" % node.func)
+        return self._note(out, element)
+
+    def _resolve_tuplecons(self, node, elem_type):
+        fields = []
+        new_items = []
+        for expr, name in node.items:
+            new_expr, expr_type = self.resolve_expr(expr, elem_type)
+            field_name = name or _infer_name(new_expr, len(fields))
+            fields.append((field_name, expr_type))
+            new_items.append((new_expr, field_name))
+        out = ast.TupleCons(new_items)
+        return self._note(out, TupleType(fields))
+
+    def _resolve_in(self, node, elem_type):
+        new_item, item_type = self.resolve_expr(node.item, elem_type)
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        if input_type.element != item_type:
+            raise TypeCheckError("in(): %s vs set of %s"
+                                 % (item_type.render(),
+                                    input_type.element.render()))
+        return self._note(ast.In(new_item, new_input), BOOLEAN)
+
+    # ------------------------------------------------------------------
+    # set operators
+    # ------------------------------------------------------------------
+    def _resolve_select(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        inner = input_type.element
+        new_predicates = []
+        for predicate in node.predicates:
+            new_pred, pred_type = self.resolve_expr(predicate, inner)
+            if pred_type != BOOLEAN:
+                raise TypeCheckError("selection predicate %s is not boolean"
+                                     % new_pred.render())
+            new_predicates.append(new_pred)
+        out = ast.Select(new_input, new_predicates)
+        return self._note(out, input_type)
+
+    def _resolve_project(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        inner = input_type.element
+        if len(node.items) == 1 and node.items[0][1] is None \
+                and not isinstance(node.items[0][0], ast.TupleCons):
+            new_expr, expr_type = self.resolve_expr(node.items[0][0], inner)
+            out = ast.Project(new_input, [(new_expr, None)])
+            return self._note(out, SetType(expr_type))
+        fields = []
+        new_items = []
+        for expr, name in node.items:
+            new_expr, expr_type = self.resolve_expr(expr, inner)
+            field_name = name or _infer_name(new_expr, len(fields))
+            fields.append((field_name, expr_type))
+            new_items.append((new_expr, field_name))
+        out = ast.Project(new_input, new_items)
+        return self._note(out, SetType(TupleType(fields)))
+
+    def _resolve_join(self, node, elem_type):
+        new_left, left_type = self.resolve_set(node.left, elem_type)
+        new_right, right_type = self.resolve_set(node.right, elem_type)
+        new_lkey, lkey_type = self.resolve_expr(node.left_key,
+                                                left_type.element)
+        new_rkey, rkey_type = self.resolve_expr(node.right_key,
+                                                right_type.element)
+        self._check_join_keys(lkey_type, rkey_type)
+        out = ast.Join(new_left, new_right, new_lkey, new_rkey)
+        pair = TupleType([(PAIR_FIELDS[0], left_type.element),
+                          (PAIR_FIELDS[1], right_type.element)])
+        return self._note(out, SetType(pair))
+
+    def _check_join_keys(self, lkey_type, rkey_type):
+        if isinstance(lkey_type, TupleType) \
+                and isinstance(rkey_type, TupleType):
+            if len(lkey_type.fields) != len(rkey_type.fields):
+                raise TypeCheckError("join key arity mismatch")
+            for (_ln, lt), (_rn, rt) in zip(lkey_type.fields,
+                                            rkey_type.fields):
+                self._check_comparable(lt, rt, "=")
+            return
+        self._check_comparable(lkey_type, rkey_type, "=")
+
+    def _resolve_semijoin(self, node, elem_type):
+        new_left, left_type = self.resolve_set(node.left, elem_type)
+        new_right, right_type = self.resolve_set(node.right, elem_type)
+        new_lkey, lkey_type = self.resolve_expr(node.left_key,
+                                                left_type.element)
+        new_rkey, rkey_type = self.resolve_expr(node.right_key,
+                                                right_type.element)
+        self._check_join_keys(lkey_type, rkey_type)
+        out = ast.Semijoin(new_left, new_right, new_lkey, new_rkey,
+                           anti=node.anti)
+        return self._note(out, left_type)
+
+    def _resolve_setop(self, node, elem_type):
+        new_left, left_type = self.resolve_set(node.left, elem_type)
+        new_right, right_type = self.resolve_set(node.right, elem_type)
+        if left_type != right_type:
+            raise TypeCheckError("%s over differently typed sets %s vs %s"
+                                 % (node.kind, left_type.render(),
+                                    right_type.render()))
+        out = ast.SetOp(node.kind, new_left, new_right)
+        return self._note(out, left_type)
+
+    def _resolve_nest(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        inner = input_type.element
+        fields = []
+        new_keys = []
+        for expr, name in node.keys:
+            new_expr, expr_type = self.resolve_expr(expr, inner)
+            if not isinstance(expr_type, (BaseType, ClassRef)):
+                raise TypeCheckError("nest key %s must be atomic or a "
+                                     "reference" % new_expr.render())
+            field_name = name or _infer_name(new_expr, len(fields))
+            fields.append((field_name, expr_type))
+            new_keys.append((new_expr, field_name))
+        group_name = node.group_name
+        fields.append((group_name, SetType(inner)))
+        out = ast.Nest(new_input, new_keys, group_name)
+        return self._note(out, SetType(TupleType(fields)))
+
+    def _resolve_unnest(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        inner = input_type.element
+        attr_type = self.element_attr_type(inner, node.attr)
+        if attr_type is None:
+            raise TypeCheckError("unnest: %s has no attribute %r"
+                                 % (inner.render(), node.attr))
+        if not isinstance(attr_type, SetType):
+            raise TypeCheckError("unnest: attribute %r is not set-valued"
+                                 % node.attr)
+        out = ast.Unnest(new_input, node.attr)
+        pair = TupleType([(PAIR_FIELDS[0], inner),
+                          (PAIR_FIELDS[1], attr_type.element)])
+        return self._note(out, SetType(pair))
+
+    def _resolve_sort(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        inner = input_type.element
+        new_keys = []
+        for expr, descending in node.keys:
+            new_expr, expr_type = self.resolve_expr(expr, inner)
+            if not is_comparable(expr_type):
+                raise TypeCheckError("sort key %s is not comparable"
+                                     % new_expr.render())
+            new_keys.append((new_expr, descending))
+        out = ast.Sort(new_input, new_keys)
+        return self._note(out, input_type)
+
+    def _resolve_top(self, node, elem_type):
+        new_input, input_type = self.resolve_set(node.input, elem_type)
+        out = ast.Top(new_input, node.n)
+        return self._note(out, input_type)
+
+
+def _infer_name(expr, position):
+    """Field name for an unnamed projection/nest item."""
+    if isinstance(expr, ast.Attr):
+        return expr.name
+    if isinstance(expr, ast.Pos):
+        return "_%d" % expr.index
+    return "_%d" % (position + 1)
+
+
+def resolve(root, schema):
+    """Resolve + type a parsed MOA query against a schema."""
+    return Resolver(schema).resolve(root)

@@ -1,0 +1,149 @@
+"""The MOA type system (paper sections 3.1 and 3.3).
+
+Formal definition from the paper::
+
+    base types:  tau is a type if tau is an atomic Monet type
+    tuple types: <tau_1, ..., tau_n> is a type, if tau_i are types
+    set types:   {tau} is a type if tau is a type
+
+plus object types: classes name structured values and add identity —
+a class attribute of another class is a *reference* (:class:`ClassRef`).
+
+Base-type extensibility (point vi of section 1) falls out for free:
+any atom registered with :mod:`repro.monet.atoms` is usable as a MOA
+base type.
+"""
+
+from ..errors import TypeSystemError
+from ..monet import atoms as _atoms
+
+
+class MOAType:
+    """Abstract MOA type."""
+
+    def render(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.render()
+
+    def __eq__(self, other):
+        return (type(other) is type(self)
+                and other._key() == self._key())
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+
+class BaseType(MOAType):
+    """An atomic Monet type used as MOA base type."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom_name):
+        self.atom = _atoms.atom(atom_name)
+        if self.atom.name == "void":
+            raise TypeSystemError("void is not a MOA base type")
+
+    def render(self):
+        return self.atom.name
+
+    def _key(self):
+        return self.atom.name
+
+
+class TupleType(MOAType):
+    """``<name_1: tau_1, ..., name_n: tau_n>``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields):
+        fields = tuple((name, field_type) for name, field_type in fields)
+        names = [name for name, _t in fields]
+        if len(set(names)) != len(names):
+            raise TypeSystemError("duplicate tuple field names: %r" % names)
+        if not fields:
+            raise TypeSystemError("tuple types need at least one field")
+        for _name, field_type in fields:
+            if not isinstance(field_type, MOAType):
+                raise TypeSystemError("tuple field %r is not a MOA type"
+                                      % (field_type,))
+        self.fields = fields
+
+    def field(self, name):
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise TypeSystemError("tuple type has no field %r" % name)
+
+    def field_at(self, position):
+        """1-based positional field access (MOA ``%1``)."""
+        if not 1 <= position <= len(self.fields):
+            raise TypeSystemError("tuple position %d out of range" % position)
+        return self.fields[position - 1]
+
+    def has_field(self, name):
+        return any(field_name == name for field_name, _t in self.fields)
+
+    def render(self):
+        return "<%s>" % ", ".join("%s: %s" % (n, t.render())
+                                  for n, t in self.fields)
+
+    def _key(self):
+        return self.fields
+
+
+class SetType(MOAType):
+    """``{tau}``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element):
+        if not isinstance(element, MOAType):
+            raise TypeSystemError("set element %r is not a MOA type"
+                                  % (element,))
+        self.element = element
+
+    def render(self):
+        return "{%s}" % self.element.render()
+
+    def _key(self):
+        return self.element
+
+
+class ClassRef(MOAType):
+    """A reference to an object of a named class."""
+
+    __slots__ = ("class_name",)
+
+    def __init__(self, class_name):
+        self.class_name = class_name
+
+    def render(self):
+        return self.class_name
+
+    def _key(self):
+        return self.class_name
+
+
+def is_numeric(moa_type):
+    return (isinstance(moa_type, BaseType)
+            and _atoms.is_numeric(moa_type.atom))
+
+
+def is_comparable(moa_type):
+    """Types that admit <, <=, >, >= comparisons."""
+    return isinstance(moa_type, BaseType)
+
+
+BOOLEAN = BaseType("bool")
+INT = BaseType("int")
+LONG = BaseType("long")
+DOUBLE = BaseType("double")
+FLOAT = BaseType("float")
+STRING = BaseType("string")
+CHAR = BaseType("char")
+INSTANT = BaseType("instant")

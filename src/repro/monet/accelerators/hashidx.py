@@ -1,0 +1,85 @@
+"""Hash-table accelerator on a BAT column (Figure 2's hash heap).
+
+The index maps equality keys of the head column to the BUN positions
+holding them.  It is built lazily by the join/semijoin operators and
+cached on the BAT (``bat.accel["hash"]``), mirroring Monet's persistent
+hash heaps.
+"""
+
+import numpy as np
+
+from ..heap import Heap
+
+
+class _HashHeap(Heap):
+    """Heap stand-in so buffer accounting can charge hash probes."""
+
+    def __init__(self, nbytes, label=""):
+        super().__init__(label)
+        self._nbytes = nbytes
+
+    @property
+    def nbytes(self):
+        return self._nbytes
+
+
+class HashIndex:
+    """positions-by-key mapping over one column of a BAT."""
+
+    __slots__ = ("table", "heap", "n_entries")
+
+    def __init__(self, table, n_entries, label=""):
+        self.table = table
+        self.n_entries = n_entries
+        # model the hash heap as ~8 bytes per entry (bucket + chain)
+        self.heap = _HashHeap(8 * n_entries, label)
+
+    def positions(self, key):
+        """BUN positions whose key equals ``key`` (list, build order)."""
+        return self.table.get(key, ())
+
+    def first(self, key):
+        hits = self.table.get(key)
+        return hits[0] if hits else None
+
+    def __len__(self):
+        return self.n_entries
+
+
+def hash_index(column, label=""):
+    """Build a :class:`HashIndex` over a column's equality keys."""
+    keys = column.keys()
+    table = {}
+    if keys.dtype == object:
+        for pos, key in enumerate(keys):
+            table.setdefault(key, []).append(pos)
+    else:
+        for pos, key in enumerate(keys.tolist()):
+            table.setdefault(key, []).append(pos)
+    return HashIndex(table, len(keys), label)
+
+
+def hash_of(bat, side="head"):
+    """Cached hash index on a BAT's head (or tail) column."""
+    slot = "hash" if side == "head" else "hash_tail"
+    index = bat.accel.get(slot)
+    if index is None:
+        column = bat.head if side == "head" else bat.tail
+        index = hash_index(column, label="%s.%s" % (bat.name or "bat", slot))
+        bat.accel[slot] = index
+    return index
+
+
+def positions_array(index, keys):
+    """Vector probe: first-match position per key, -1 when absent."""
+    out = np.full(len(keys), -1, dtype=np.int64)
+    table = index.table
+    if keys.dtype == object:
+        iterator = enumerate(keys)
+    else:
+        iterator = enumerate(keys.tolist())
+    for i, key in iterator:
+        hits = table.get(key)
+        if hits:
+            out[i] = hits[0]
+    return out

@@ -1,0 +1,264 @@
+"""Simulated virtual-memory buffer management and page-fault accounting.
+
+The real Monet maps BATs into virtual memory and lets the OS pager do
+buffer management (paper section 2: "it has no page-based buffer
+manager ... lets the MMU do the job in hardware").  The performance
+analysis of the paper (sections 5.2.2 and 6) is entirely in terms of
+**page faults**: how many B-byte pages each execution strategy touches.
+
+This module reproduces that observable.  A :class:`BufferManager`
+tracks a resident set of ``(heap_id, page_number)`` pairs with an LRU
+policy and an optional memory budget; operators report their accesses
+through three patterns:
+
+* :meth:`BufferManager.access_range` — sequential scan of a byte range,
+* :meth:`BufferManager.access_positions` — scattered (unclustered)
+  access to individual entries, the pattern behind the
+  ``1-(1-s)^C`` term of the section 5.2.2 cost model,
+* :meth:`BufferManager.access_probes` — binary-search probes.
+
+Faults are attributed to the operator named by the surrounding
+:meth:`BufferManager.operator` context, which is how the per-statement
+fault counts of Figure 10 are produced.
+
+A process-global *current* manager (default: disabled, zero overhead)
+is installed with :func:`use` or :func:`set_manager`.
+"""
+
+import contextlib
+from collections import OrderedDict
+
+import numpy as np
+
+
+class BufferStats:
+    """Counters captured by :meth:`BufferManager.snapshot`."""
+
+    __slots__ = ("faults", "hits", "evictions")
+
+    def __init__(self, faults=0, hits=0, evictions=0):
+        self.faults = faults
+        self.hits = hits
+        self.evictions = evictions
+
+    def __repr__(self):
+        return ("BufferStats(faults=%d, hits=%d, evictions=%d)"
+                % (self.faults, self.hits, self.evictions))
+
+
+class BufferManager:
+    """LRU resident-set simulation over heap pages.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page; the paper uses B = 4096.
+    memory_pages:
+        Resident-set budget in pages, or ``None`` for unbounded memory
+        (then only cold misses fault).
+    enabled:
+        When False every accounting call is a no-op, so the simulation
+        can be switched off for pure-speed runs.
+    """
+
+    def __init__(self, page_size=4096, memory_pages=None, enabled=True):
+        self.page_size = int(page_size)
+        self.memory_pages = memory_pages
+        self.enabled = enabled
+        self._resident = OrderedDict()
+        #: transient pages that were evicted under memory pressure;
+        #: touching them again is a real fault (spill re-read)
+        self._spilled = set()
+        self.faults = 0
+        self.hits = 0
+        self.evictions = 0
+        self._op_stack = []
+        self.op_faults = {}
+
+    # ------------------------------------------------------------------
+    # operator attribution
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def operator(self, label):
+        """Attribute faults inside the block to ``label``."""
+        self._op_stack.append(label)
+        before = self.faults
+        try:
+            yield
+        finally:
+            self._op_stack.pop()
+            delta = self.faults - before
+            if delta:
+                self.op_faults[label] = self.op_faults.get(label, 0) + delta
+
+    def _charge(self, count):
+        self.faults += count
+
+    # ------------------------------------------------------------------
+    # residency core
+    # ------------------------------------------------------------------
+    def _touch_pages(self, heap, pages):
+        """Touch an iterable of page numbers of one heap.
+
+        Cold pages of *persistent* heaps fault; cold pages of
+        transient heaps (intermediate results) are free the first time
+        — they are writes — and only fault again once evicted under
+        memory pressure (see :class:`~repro.monet.heap.Heap`).
+        """
+        resident = self._resident
+        budget = self.memory_pages
+        persistent = getattr(heap, "persistent", True)
+        heap_id = heap.heap_id
+        misses = 0
+        for page in pages:
+            key = (heap_id, page)
+            if key in resident:
+                resident.move_to_end(key)
+                self.hits += 1
+            else:
+                if persistent or key in self._spilled:
+                    misses += 1
+                resident[key] = persistent
+                if budget is not None and len(resident) > budget:
+                    victim, victim_persistent = resident.popitem(
+                        last=False)
+                    if not victim_persistent:
+                        self._spilled.add(victim)
+                    self.evictions += 1
+        if misses:
+            self._charge(misses)
+
+    # ------------------------------------------------------------------
+    # access patterns
+    # ------------------------------------------------------------------
+    def access_range(self, heap, start_byte=0, nbytes=None):
+        """Sequential access to ``heap[start_byte : start_byte+nbytes]``."""
+        if not self.enabled:
+            return
+        if nbytes is None:
+            nbytes = heap.nbytes - start_byte
+        if nbytes <= 0:
+            return
+        first = start_byte // self.page_size
+        last = (start_byte + nbytes - 1) // self.page_size
+        self._touch_pages(heap, range(first, last + 1))
+
+    def access_heap(self, heap):
+        """Sequential access to a whole heap."""
+        self.access_range(heap, 0, heap.nbytes)
+
+    def access_positions(self, heap, positions, width):
+        """Scattered access to entries ``positions`` of ``width`` bytes.
+
+        Page numbers are deduplicated *per call* (consecutive hits to
+        one page cost one touch), which makes the expected fault count
+        of a random gather match the ``pages * (1-(1-s)^C)`` term of
+        the analytic model.
+        """
+        if not self.enabled or width == 0:
+            return
+        positions = np.asarray(positions)
+        if positions.size == 0:
+            return
+        pages = np.unique(positions.astype(np.int64) * width // self.page_size)
+        self._touch_pages(heap, pages.tolist())
+
+    def access_probes(self, heap, n_probes, n_entries, width):
+        """``n_probes`` binary searches over ``n_entries`` sorted entries.
+
+        Each probe touches about ``log2(n_pages)`` pages, but the top
+        levels of the implicit search tree stay resident, so repeated
+        probing is charged the page count of the touched *frontier*:
+        we charge ``min(n_pages, n_probes * ceil(log2(n_pages)))``
+        page touches spread deterministically over the heap.
+        """
+        if not self.enabled or width == 0 or n_probes <= 0 or n_entries <= 0:
+            return
+        n_pages = max(1, -(-(n_entries * width) // self.page_size))
+        depth = max(1, int(np.ceil(np.log2(n_pages + 1))))
+        touched = min(n_pages, n_probes * depth)
+        step = max(1, n_pages // touched)
+        self._touch_pages(heap, range(0, n_pages, step))
+
+    def access_column(self, column, positions=None):
+        """Account one column access: full scan or positional gather."""
+        if not self.enabled:
+            return
+        for heap in column.heaps:
+            if positions is None:
+                self.access_heap(heap)
+            else:
+                width = getattr(heap, "width", None)
+                if width:
+                    self.access_positions(heap, positions, width)
+                else:
+                    # var heap bodies: approximate with average width
+                    avg = max(1, heap.nbytes // max(1, len(heap)))
+                    self.access_positions(heap, positions, avg)
+
+    def access_bat(self, bat, positions=None):
+        """Account access to both columns of a BAT."""
+        if not self.enabled:
+            return
+        self.access_column(bat.head, positions)
+        self.access_column(bat.tail, positions)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def evict_all(self):
+        """Drop the whole resident set (simulate a cold start).
+
+        Intermediates of finished queries are dead, so the spill set
+        is cleared too: the next query starts from cold base data.
+        """
+        self._resident.clear()
+        self._spilled.clear()
+
+    def evict_heap(self, heap):
+        """Drop one heap's pages (the "save intermediate results to
+        disk" behaviour the paper describes for query 1)."""
+        doomed = [key for key in self._resident if key[0] == heap.heap_id]
+        for key in doomed:
+            del self._resident[key]
+        self.evictions += len(doomed)
+
+    def resident_pages(self):
+        return len(self._resident)
+
+    def snapshot(self):
+        return BufferStats(self.faults, self.hits, self.evictions)
+
+    def reset_counters(self):
+        self.faults = 0
+        self.hits = 0
+        self.evictions = 0
+        self.op_faults = {}
+
+
+#: Disabled manager used when no simulation is requested.
+_DISABLED = BufferManager(enabled=False)
+_current = _DISABLED
+
+
+def get_manager():
+    """The buffer manager operators should report accesses to."""
+    return _current
+
+
+def set_manager(manager):
+    """Install ``manager`` (or None to disable accounting) globally."""
+    global _current
+    _current = manager if manager is not None else _DISABLED
+
+
+@contextlib.contextmanager
+def use(manager):
+    """Context manager installing ``manager`` for the duration."""
+    global _current
+    previous = _current
+    _current = manager if manager is not None else _DISABLED
+    try:
+        yield manager
+    finally:
+        _current = previous

@@ -1,0 +1,139 @@
+"""Heaps: the storage areas behind BAT columns.
+
+The paper (section 3.2, Figure 2) describes a BAT as owning between 1
+and 5 heaps: the BUN heap with the fixed-size value pairs, up to two
+variable-size atom heaps (one per column, holding e.g. string bodies
+behind integer byte-indices in the BUN heap), and accelerator heaps.
+
+Here each *column* owns its own storage, which keeps the bookkeeping
+simple while preserving the observable design: fixed-width values live
+in a dense array (:class:`FixedHeap`), variable-size atoms live in a
+de-duplicated :class:`VarHeap` addressed through integer indices.
+
+Every heap registers itself with a process-wide directory so that the
+simulated buffer manager (:mod:`repro.monet.buffer`) can account page
+faults per heap.
+"""
+
+import itertools
+
+import numpy as np
+
+from ..errors import HeapError
+
+_HEAP_IDS = itertools.count(1)
+
+
+class Heap:
+    """Common bookkeeping for all heap kinds.
+
+    ``persistent`` distinguishes disk-backed heaps (loaded base BATs,
+    accelerators — their cold pages *fault* when touched) from
+    transient intermediate results, which are born memory-resident:
+    writing a fresh intermediate does not read from disk, so its first
+    touch is free.  Intermediates only fault again after the buffer
+    manager evicted them under memory pressure (the paper's query 1
+    "save intermediate results to disk" scenario).
+    """
+
+    def __init__(self, label=""):
+        self.heap_id = next(_HEAP_IDS)
+        self.label = label
+        self.persistent = False
+
+    @property
+    def nbytes(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(id=%d, label=%r, %d bytes)" % (
+            type(self).__name__, self.heap_id, self.label, self.nbytes)
+
+
+class FixedHeap(Heap):
+    """Dense array storage for fixed-width atoms (the BUN heap side)."""
+
+    def __init__(self, data, width, label=""):
+        super().__init__(label)
+        self.data = data
+        self.width = width
+
+    @property
+    def nbytes(self):
+        return len(self.data) * self.width
+
+
+class VarHeap(Heap):
+    """De-duplicated storage for variable-size atoms (strings, chars).
+
+    Monet's string heaps perform "double elimination": a string that
+    occurs many times is stored once, and the BUN heap stores integer
+    byte offsets.  We store each distinct value once in ``values`` and
+    hand out dense integer indices; ``lookup`` maps value -> index.
+
+    ``nbytes`` reports the byte size of the stored bodies, which is what
+    the IO cost model should see for heap scans.
+    """
+
+    def __init__(self, label=""):
+        super().__init__(label)
+        self.values = []
+        self.lookup = {}
+        self._body_bytes = 0
+        self._sorted_cache = None
+
+    def insert(self, value):
+        """Intern ``value``; return its index."""
+        index = self.lookup.get(value)
+        if index is None:
+            index = len(self.values)
+            self.values.append(value)
+            self.lookup[value] = index
+            self._body_bytes += len(value.encode("utf-8")) + 1
+            self._sorted_cache = None
+        return index
+
+    def insert_many(self, values):
+        """Intern an iterable of values; return an int32 index array."""
+        insert = self.insert
+        return np.fromiter((insert(v) for v in values), dtype=np.int32,
+                           count=len(values) if hasattr(values, "__len__") else -1)
+
+    def find(self, value):
+        """Index of ``value`` or ``None`` when absent."""
+        return self.lookup.get(value)
+
+    def decode(self, indices):
+        """Map an index array back to an object array of values."""
+        if len(self.values) == 0:
+            if len(indices) == 0:
+                return np.empty(0, dtype=object)
+            raise HeapError("decode from empty var heap")
+        table = np.array(self.values, dtype=object)
+        return table[np.asarray(indices, dtype=np.int64)]
+
+    def decode_one(self, index):
+        return self.values[int(index)]
+
+    def sorted_order(self):
+        """Permutation of heap indices that sorts the distinct values.
+
+        Returns ``(order, rank)`` where ``order[k]`` is the heap index of
+        the ``k``-th smallest value and ``rank[i]`` is the sort position
+        of heap index ``i``.  Used by range selections and sorts on
+        var-size columns.  The result is cached until the next insert.
+        """
+        if self._sorted_cache is None:
+            order = sorted(range(len(self.values)), key=self.values.__getitem__)
+            order = np.asarray(order, dtype=np.int64)
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order), dtype=np.int64)
+            self._sorted_cache = (order, rank)
+        return self._sorted_cache
+
+    def __len__(self):
+        return len(self.values)
+
+    @property
+    def nbytes(self):
+        return self._body_bytes

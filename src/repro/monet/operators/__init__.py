@@ -1,0 +1,38 @@
+"""The BAT algebra: Monet's execution primitives (paper Figure 4).
+
+This package is the public operator surface of the kernel substrate::
+
+    mirror, select_range, select_eq, join, semijoin, antijoin, unique,
+    group1, group2, multiplex, set_aggregate, aggregate_all,
+    union, difference, intersection, kdiff, kintersect,
+    sort_tail, sort_head, sort_positions, slice_bunches,
+    count, fetch, exist, mark, number
+
+Every operator materialises its result and never mutates operands
+(section 4.2); property propagation and run-time implementation choice
+happen inside each operator (sections 5.1-5.2).
+"""
+
+from .aggregate import (AGGREGATES, aggregate_all, fill_zero,
+                        set_aggregate)
+from .group import group1, group2
+from .join import join, join_positions, pairjoin
+from .misc import count, exist, fetch, ident, mark, mirror, number
+from .multiplex import (function_names, get_function, multiplex,
+                        register_function)
+from .select import select_eq, select_range
+from .semijoin import antijoin, semijoin
+from .setops import difference, intersection, kdiff, kintersect, union, unique
+from .sort import slice_bunches, sort_head, sort_positions, sort_tail
+
+__all__ = [
+    "AGGREGATES", "aggregate_all", "fill_zero", "set_aggregate",
+    "group1", "group2",
+    "join", "join_positions", "pairjoin",
+    "count", "exist", "fetch", "ident", "mark", "mirror", "number",
+    "function_names", "get_function", "multiplex", "register_function",
+    "select_eq", "select_range",
+    "antijoin", "semijoin",
+    "difference", "intersection", "kdiff", "kintersect", "union", "unique",
+    "slice_bunches", "sort_head", "sort_positions", "sort_tail",
+]

@@ -1,0 +1,75 @@
+"""Shared helpers for the BAT-algebra operator implementations."""
+
+import numpy as np
+
+from ...errors import OperatorError
+from ..bat import BAT
+from ..properties import Props
+
+
+def subsequence_props(ab):
+    """Props of a result whose BUNs are a subsequence of ``ab``'s.
+
+    Selections and order-preserving semijoins keep relative BUN order,
+    so ordered/key flags survive (dropping BUNs cannot introduce
+    duplicates or disorder).
+    """
+    return ab.props.copy()
+
+
+def take_subsequence(ab, positions, name=None):
+    """Result BAT = ``ab`` restricted to ``positions`` (monotonic).
+
+    Inherits properties; when *all* BUNs survive the result is synced
+    with the operand (alignment token preserved).
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    total = len(positions) == len(ab)
+    out = ab.take(positions, name=name,
+                  alignment=ab.alignment if total else None)
+    out.props = subsequence_props(ab)
+    return out
+
+
+def factorize(keys):
+    """(codes, n_distinct): dense int codes per distinct key, sorted order."""
+    keys = np.asarray(keys)
+    if len(keys) == 0:
+        return np.empty(0, dtype=np.int64), 0
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    return inverse.astype(np.int64), len(uniq)
+
+
+def build_multimap(keys):
+    """dict key -> list of positions, over an equality-key array."""
+    table = {}
+    if keys.dtype == object:
+        items = enumerate(keys)
+    else:
+        items = enumerate(keys.tolist())
+    for pos, key in items:
+        table.setdefault(key, []).append(pos)
+    return table
+
+
+def require_nonempty_signature(ab, cd, op):
+    if ab.tail.atom.varsized != cd.head.atom.varsized:
+        raise OperatorError(
+            "%s: join columns have incompatible atoms %s vs %s"
+            % (op, ab.tail.atom.name, cd.head.atom.name))
+
+
+def result_bat(head, tail, name=None, props=None, alignment=None):
+    out = BAT(head, tail, name=name, alignment=alignment)
+    if props is not None:
+        out.props = props
+    return out
+
+
+def void_like(column):
+    """True when a column is virtual-dense (void)."""
+    return column.is_void()
+
+
+def props_none():
+    return Props()

@@ -1,0 +1,201 @@
+"""Equi-join: ``AB.join(CD) = { ad | ab in AB, cd in CD, b = c }``.
+
+The join columns are projected out to keep the operation closed in the
+binary model (section 4.2).  Implementations, chosen at run time:
+
+* ``fetchjoin`` — the inner head is a void (virtual dense) column, so
+  matching is pure positional arithmetic; used against datavector-style
+  dense tables.
+* ``mergejoin`` — the inner head is ordered; binary-search (vectorised
+  ``searchsorted``) matching with sequential access patterns, "tend to
+  work best ... because they have sequential access patterns"
+  (section 5.2).
+* ``hashjoin`` — the generic fallback; builds (or reuses) a hash table
+  accelerator on the inner head.
+
+The result is produced in outer (left) BUN order.  When every outer
+BUN finds exactly one match the result head equals the outer head, so
+the result is *synced* with the outer operand — the property that makes
+the Q13 multiplex chain positional.
+"""
+
+import numpy as np
+
+from ...errors import OperatorError
+from ..accelerators.hashidx import hash_of
+from ..buffer import get_manager
+from ..column import column_from_values, equality_keys
+from ..optimizer import get_optimizer
+from ..properties import Props
+from .common import build_multimap, require_nonempty_signature, result_bat
+
+
+def join(ab, cd, name=None):
+    """Dispatch on operand state, per section 5.1."""
+    require_nonempty_signature(ab, cd, "join")
+    optimizer = get_optimizer()
+    if optimizer.dynamic and cd.head.is_void():
+        optimizer.record("join", "fetchjoin")
+        return _fetchjoin(ab, cd, name)
+    if (optimizer.dynamic and cd.props.hordered and cd.props.hkey
+            and not cd.head.atom.varsized and not ab.tail.atom.varsized):
+        optimizer.record("join", "mergejoin")
+        return _mergejoin(ab, cd, name)
+    optimizer.record("join", "hashjoin")
+    return _hashjoin(ab, cd, name)
+
+
+def join_positions(ab, cd):
+    """(left_positions, right_positions) of every matching BUN pair.
+
+    Left-major order; shared by :func:`join` and by the MOA rewriter's
+    pair construction for explicit joins.
+    """
+    left_keys, right_keys = equality_keys(ab.tail, cd.head)
+    table = build_multimap(right_keys)
+    lefts = []
+    rights = []
+    if left_keys.dtype == object:
+        items = enumerate(left_keys)
+    else:
+        items = enumerate(left_keys.tolist())
+    for pos, key in items:
+        hits = table.get(key)
+        if hits:
+            lefts.extend([pos] * len(hits))
+            rights.extend(hits)
+    return (np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64))
+
+
+def pairjoin(operands, name=None):
+    """Multi-key equi-join producing ``[left_elem, right_elem]`` pairs.
+
+    ``operands`` is an even-length list: the first half are left key
+    columns (BATs ``[left_elem, key_i]``, mutually aligned on their
+    heads), the second half right key columns.  A pair qualifies when
+    all key positions match — the building block for MOA joins on
+    composite keys, where the binary model has no single column to
+    join on.
+    """
+    if len(operands) < 2 or len(operands) % 2:
+        raise OperatorError("pairjoin needs an even number of key columns")
+    half = len(operands) // 2
+    lefts, rights = operands[:half], operands[half:]
+    manager = get_manager()
+    with manager.operator("pairjoin"):
+        left_ids, left_keys = _tuple_keys(lefts, manager)
+        right_ids, right_keys = _tuple_keys(rights, manager)
+        table = {}
+        for rid, rkey in zip(right_ids, right_keys):
+            table.setdefault(rkey, []).append(rid)
+        out_left = []
+        out_right = []
+        for lid, lkey in zip(left_ids, left_keys):
+            hits = table.get(lkey)
+            if hits:
+                out_left.extend([lid] * len(hits))
+                out_right.extend(hits)
+    head = column_from_values("oid", out_left)
+    tail = column_from_values("oid", out_right)
+    props = Props(hordered=True)
+    return result_bat(head, tail, name=name, props=props)
+
+
+def _tuple_keys(key_bats, manager):
+    """(element ids, tuple keys) from aligned [elem, key] columns."""
+    first = key_bats[0]
+    manager.access_column(first.head)
+    ids = [int(v) for v in first.head.logical()]
+    columns = []
+    for bat in key_bats:
+        manager.access_column(bat.tail)
+        if bat is first:
+            columns.append(list(bat.tail.logical()))
+        else:
+            if not bat.props.hkey:
+                raise OperatorError("pairjoin key columns must be "
+                                    "head-unique")
+            lookup = dict(zip((int(v) for v in bat.head.logical()),
+                              bat.tail.logical()))
+            columns.append([lookup.get(i) for i in ids])
+    keys = [tuple(_plain(col[i]) for col in columns)
+            for i in range(len(ids))]
+    return ids, keys
+
+
+def _plain(value):
+    import numpy as _np
+    if isinstance(value, _np.integer):
+        return int(value)
+    if isinstance(value, _np.floating):
+        return float(value)
+    if isinstance(value, _np.bool_):
+        return bool(value)
+    return value
+
+
+def _finish(ab, cd, left_pos, right_pos, name):
+    head = ab.head.take(left_pos)
+    tail = cd.tail.take(right_pos)
+    props = Props()
+    props.hordered = ab.props.hordered      # left-major, non-strict order
+    props.hkey = ab.props.hkey and cd.props.hkey
+    out = result_bat(head, tail, name=name, props=props)
+    if len(out) == len(ab) and cd.props.hkey:
+        # total 1:1 match: result heads are exactly the outer heads
+        out.alignment = ab.alignment
+        out.props.hkey = ab.props.hkey
+        out.props.hordered = ab.props.hordered
+    return out
+
+
+def _fetchjoin(ab, cd, name):
+    manager = get_manager()
+    with manager.operator("join.fetchjoin"):
+        manager.access_column(ab.tail)
+        keys = np.asarray(ab.tail.logical(), dtype=np.int64)
+        seqbase = cd.head.seqbase
+        positions = keys - seqbase
+        valid = (positions >= 0) & (positions < len(cd))
+        left_pos = np.nonzero(valid)[0]
+        right_pos = positions[valid]
+        manager.access_column(ab.head, left_pos)
+        manager.access_column(cd.tail, right_pos)
+    return _finish(ab, cd, left_pos, right_pos, name)
+
+
+def _mergejoin(ab, cd, name):
+    # dispatch guarantees: fixed-width keys, cd head ordered and unique
+    manager = get_manager()
+    with manager.operator("join.mergejoin"):
+        left_keys, right_keys = equality_keys(ab.tail, cd.head)
+        manager.access_column(ab.tail)
+        manager.access_column(cd.head)
+        positions = np.searchsorted(right_keys, left_keys)
+        positions = np.clip(positions, 0, max(0, len(right_keys) - 1))
+        if len(right_keys):
+            valid = right_keys[positions] == left_keys
+        else:
+            valid = np.zeros(len(left_keys), dtype=bool)
+        left_pos = np.nonzero(valid)[0]
+        right_pos = positions[valid]
+        manager.access_column(ab.head, left_pos)
+        manager.access_column(cd.tail, right_pos)
+    return _finish(ab, cd, left_pos, right_pos, name)
+
+
+def _hashjoin(ab, cd, name):
+    manager = get_manager()
+    with manager.operator("join.hashjoin"):
+        manager.access_column(ab.tail)
+        manager.access_column(cd.head)
+        if cd.head.atom.varsized == ab.tail.atom.varsized \
+                and not ab.tail.atom.varsized \
+                and "hash" in cd.accel:
+            index = hash_of(cd, "head")
+            manager.access_heap(index.heap)
+        left_pos, right_pos = join_positions(ab, cd)
+        manager.access_column(ab.head, left_pos)
+        manager.access_column(cd.tail, right_pos)
+    return _finish(ab, cd, left_pos, right_pos, name)

@@ -1,0 +1,118 @@
+"""Set operations on BATs: unique, union, difference, intersection.
+
+Figure 4 defines ``AB.unique = { ab | ab in AB }`` (duplicate BUNs
+removed); union/difference/intersection are "omitted for brevity" in
+the paper but part of MIL.  All four work on whole BUNs (head *and*
+tail); the ``k``-prefixed variants (``kdiff``, ``kintersect``) compare
+on heads only and serve the MOA set operations over identified value
+sets, where element identity is the id.
+
+First-occurrence order is preserved, so ordered/key properties of the
+left operand survive.
+"""
+
+import numpy as np
+
+from ..buffer import get_manager
+from ..column import equality_keys
+from ..optimizer import get_optimizer
+from .common import take_subsequence
+from .semijoin import antijoin, semijoin
+from ..bat import concat_bats
+
+
+def _pair_keys(ab, cd=None):
+    """Comparable (pair-key arrays) for one or two BATs.
+
+    Keys are Python tuples (exact, hashable); vectorising this with
+    factorised int64 pairs is possible but tuples keep the code simple
+    and correct for every atom mix.
+    """
+    hk_a, hk_c = (equality_keys(ab.head, cd.head) if cd is not None
+                  else (ab.head.keys(), None))
+    tk_a, tk_c = (equality_keys(ab.tail, cd.tail) if cd is not None
+                  else (ab.tail.keys(), None))
+    left = list(zip(hk_a.tolist() if hk_a.dtype != object else hk_a,
+                    tk_a.tolist() if tk_a.dtype != object else tk_a))
+    if cd is None:
+        return left, None
+    right = list(zip(hk_c.tolist() if hk_c.dtype != object else hk_c,
+                     tk_c.tolist() if tk_c.dtype != object else tk_c))
+    return left, right
+
+
+def unique(ab, name=None):
+    """Remove duplicate BUNs, keeping first occurrences."""
+    optimizer = get_optimizer()
+    manager = get_manager()
+    if optimizer.dynamic and (ab.props.hkey or ab.props.tkey):
+        # a key column means no BUN can repeat: result = copy
+        optimizer.record("unique", "noop")
+        out = ab.take(np.arange(len(ab), dtype=np.int64), name=name,
+                      alignment=ab.alignment)
+        out.props = ab.props.copy()
+        return out
+    optimizer.record("unique", "hash")
+    with manager.operator("unique"):
+        manager.access_bat(ab)
+        pairs, _unused = _pair_keys(ab)
+        seen = set()
+        positions = []
+        for pos, pair in enumerate(pairs):
+            if pair not in seen:
+                seen.add(pair)
+                positions.append(pos)
+    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
+                            name=name)
+
+
+def union(ab, cd, name=None):
+    """BUN-set union, left BUNs first, duplicates removed."""
+    manager = get_manager()
+    with manager.operator("union"):
+        manager.access_bat(ab)
+        manager.access_bat(cd)
+        combined = concat_bats([ab, cd], name=name)
+    return unique(combined, name=name)
+
+
+def difference(ab, cd, name=None):
+    """BUNs of ``ab`` that do not occur in ``cd``."""
+    manager = get_manager()
+    with manager.operator("difference"):
+        manager.access_bat(ab)
+        manager.access_bat(cd)
+        left, right = _pair_keys(ab, cd)
+        members = set(right)
+        positions = [pos for pos, pair in enumerate(left)
+                     if pair not in members]
+    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
+                            name=name)
+
+
+def intersection(ab, cd, name=None):
+    """BUNs of ``ab`` that also occur in ``cd`` (deduplicated)."""
+    manager = get_manager()
+    with manager.operator("intersection"):
+        manager.access_bat(ab)
+        manager.access_bat(cd)
+        left, right = _pair_keys(ab, cd)
+        members = set(right)
+        seen = set()
+        positions = []
+        for pos, pair in enumerate(left):
+            if pair in members and pair not in seen:
+                seen.add(pair)
+                positions.append(pos)
+    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
+                            name=name)
+
+
+def kdiff(ab, cd, name=None):
+    """Head-wise difference: ``{ ab | a not in heads(CD) }``."""
+    return antijoin(ab, cd, name=name)
+
+
+def kintersect(ab, cd, name=None):
+    """Head-wise intersection — an alias of semijoin."""
+    return semijoin(ab, cd, name=name)

@@ -1,0 +1,74 @@
+"""Dynamic (run-time) operator optimization, paper sections 2 and 5.1.
+
+"The Monet kernel generally contains multiple implementations for each
+algebraic operation. ... Depending on the state of the system, and the
+state of the operands, a run-time choice between the available
+algorithms can be made."
+
+The dispatch *policy* lives inside each operator module (it inspects
+the operand properties and accelerators); this module provides:
+
+* a process-global switch to disable property-driven dispatch (every
+  operator then falls back to its generic hash/scan implementation),
+  used by the ablation benchmark A2;
+* recording of which implementation ran, so tests can assert that the
+  expected variant was chosen and benchmarks can report dispatch
+  statistics.
+"""
+
+import contextlib
+from collections import Counter
+
+
+class Optimizer:
+    """Dispatch switch + per-implementation counters."""
+
+    def __init__(self, dynamic=True):
+        #: When False, operators ignore properties/accelerators and use
+        #: their generic implementation (ablation A2).
+        self.dynamic = dynamic
+        #: Counter of "op:impl" strings.
+        self.stats = Counter()
+        #: Most recent implementation per op, for tests.
+        self.last = {}
+
+    def record(self, op, impl):
+        """Note that operator ``op`` executed implementation ``impl``."""
+        self.stats["%s:%s" % (op, impl)] += 1
+        self.last[op] = impl
+
+    def reset(self):
+        self.stats.clear()
+        self.last.clear()
+
+
+_current = Optimizer()
+
+
+def get_optimizer():
+    return _current
+
+
+def set_optimizer(optimizer):
+    global _current
+    _current = optimizer
+
+
+@contextlib.contextmanager
+def use(optimizer):
+    """Temporarily install a different optimizer (or policy switch)."""
+    global _current
+    previous = _current
+    _current = optimizer
+    try:
+        yield optimizer
+    finally:
+        _current = previous
+
+
+@contextlib.contextmanager
+def dispatch_disabled():
+    """Run a block with property-driven dispatch switched off."""
+    opt = Optimizer(dynamic=False)
+    with use(opt):
+        yield opt

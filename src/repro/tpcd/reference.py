@@ -1,0 +1,364 @@
+"""Independent reference implementations of TPC-D Q1-Q15.
+
+Hand-written from the TPC-D specification semantics, over the columnar
+``dataset.tables`` arrays — deliberately *not* sharing any code with
+the MOA evaluator or the rewriter, so they form a third, independent
+oracle: tests require  MOA-physical == MOA-logical == this module.
+
+Row field names match the MOA formulations in
+:mod:`repro.tpcd.queries`, so results compare directly with
+:func:`repro.moa.values.sequences_equivalent`.
+"""
+
+import numpy as np
+
+from ..monet.atoms import date_to_days
+from ..moa.values import Ref, Row
+
+
+def _rev(item, mask):
+    return item["extendedprice"][mask] * (1.0 - item["discount"][mask])
+
+
+def _group_sum(keys, values):
+    """dict key -> sum of values, preserving float math."""
+    out = {}
+    for key, value in zip(keys, values):
+        out[key] = out.get(key, 0.0) + float(value)
+    return out
+
+
+def q1(dataset, params):
+    item = dataset.tables["item"]
+    mask = item["shipdate"] <= date_to_days(params["date"])
+    keys = list(zip(item["returnflag"][mask], item["linestatus"][mask]))
+    qty = item["quantity"][mask]
+    price = item["extendedprice"][mask]
+    disc = item["discount"][mask]
+    tax = item["tax"][mask]
+    disc_price = price * (1.0 - disc)
+    charge = disc_price * (1.0 + tax)
+    groups = {}
+    for position, key in enumerate(keys):
+        groups.setdefault(key, []).append(position)
+    rows = []
+    for key in sorted(groups):
+        positions = groups[key]
+        n = len(positions)
+        rows.append(Row([
+            ("returnflag", key[0]), ("linestatus", key[1]),
+            ("sum_qty", int(qty[positions].sum())),
+            ("sum_base_price", float(price[positions].sum())),
+            ("sum_disc_price", float(disc_price[positions].sum())),
+            ("sum_charge", float(charge[positions].sum())),
+            ("avg_qty", float(qty[positions].mean())),
+            ("avg_price", float(price[positions].mean())),
+            ("avg_disc", float(disc[positions].mean())),
+            ("count_order", n),
+        ]))
+    return rows
+
+
+def q2(dataset, params):
+    part = dataset.tables["part"]
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    region = dataset.tables["region"]
+    ps = dataset.tables["partsupp"]
+    part_ok = ((part["size"] == params["size"])
+               & np.array([t.endswith(params["type"])
+                           for t in part["type"]], dtype=bool))
+    supp_region = region["name"][nation["region"][supplier["nation"]]]
+    supp_ok = supp_region == params["region"]
+    entry_ok = part_ok[ps["part"]] & supp_ok[ps["supplier"]]
+    mincost = {}
+    for position in np.nonzero(entry_ok)[0]:
+        p = int(ps["part"][position])
+        cost = float(ps["cost"][position])
+        if p not in mincost or cost < mincost[p]:
+            mincost[p] = cost
+    rows = []
+    for position in np.nonzero(entry_ok)[0]:
+        p = int(ps["part"][position])
+        cost = float(ps["cost"][position])
+        if abs(cost - mincost[p]) > 1e-9:
+            continue
+        s = int(ps["supplier"][position])
+        rows.append(Row([
+            ("s_acctbal", float(supplier["acctbal"][s])),
+            ("s_name", supplier["name"][s]),
+            ("n_name", nation["name"][supplier["nation"][s]]),
+            ("p_name", part["name"][p]),
+            ("p_mfgr", part["manufacturer"][p]),
+            ("s_address", supplier["address"][s]),
+            ("s_phone", supplier["phone"][s]),
+            ("cost", cost),
+        ]))
+    rows.sort(key=lambda r: (-r["s_acctbal"], r["n_name"], r["p_name"]))
+    return rows[:100]
+
+
+def q3(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    customer = dataset.tables["customer"]
+    cutoff = date_to_days(params["date"])
+    order_ok = ((customer["mktsegment"][orders["cust"]]
+                 == params["segment"])
+                & (orders["orderdate"] < cutoff))
+    mask = (item["shipdate"] > cutoff) & order_ok[item["order"]]
+    revenue = _group_sum(item["order"][mask].tolist(), _rev(item, mask))
+    rows = [Row([("order", Ref("Order", o)),
+                 ("revenue", total),
+                 ("odate", int(orders["orderdate"][o])),
+                 ("ship", orders["shippriority"][o])])
+            for o, total in revenue.items()]
+    rows.sort(key=lambda r: (-r["revenue"], r["odate"]))
+    return rows[:10]
+
+
+def q4(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    late = set(item["order"][item["commitdate"]
+                             < item["receiptdate"]].tolist())
+    counts = {}
+    for oid in range(len(orders["cust"])):
+        if lo <= orders["orderdate"][oid] < hi and oid in late:
+            priority = orders["orderpriority"][oid]
+            counts[priority] = counts.get(priority, 0) + 1
+    return [Row([("orderpriority", p), ("order_count", c)])
+            for p, c in sorted(counts.items())]
+
+
+def q5(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    customer = dataset.tables["customer"]
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    region = dataset.tables["region"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    odate = orders["orderdate"][item["order"]]
+    snat = supplier["nation"][item["supplier"]]
+    cnat = customer["nation"][orders["cust"][item["order"]]]
+    sregion = region["name"][nation["region"][snat]]
+    mask = ((odate >= lo) & (odate < hi)
+            & (sregion == params["region"]) & (snat == cnat))
+    revenue = _group_sum(nation["name"][snat[mask]].tolist(),
+                         _rev(item, mask))
+    rows = [Row([("nation", n), ("revenue", v)])
+            for n, v in revenue.items()]
+    rows.sort(key=lambda r: -r["revenue"])
+    return rows
+
+
+def q6(dataset, params):
+    item = dataset.tables["item"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    mask = ((item["shipdate"] >= lo) & (item["shipdate"] < hi)
+            & (item["discount"] >= float(params["disc_lo"]) - 1e-9)
+            & (item["discount"] <= float(params["disc_hi"]) + 1e-9)
+            & (item["quantity"] < params["qty"]))
+    return float((item["extendedprice"][mask]
+                  * item["discount"][mask]).sum())
+
+
+def q7(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    customer = dataset.tables["customer"]
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    snation = nation["name"][supplier["nation"][item["supplier"]]]
+    cnation = nation["name"][
+        customer["nation"][orders["cust"][item["order"]]]]
+    n1, n2 = params["nation1"], params["nation2"]
+    mask = ((item["shipdate"] >= lo) & (item["shipdate"] <= hi)
+            & (((snation == n1) & (cnation == n2))
+               | ((snation == n2) & (cnation == n1))))
+    years = (np.asarray(item["shipdate"][mask], dtype="datetime64[D]")
+             .astype("datetime64[Y]").astype(int) + 1970)
+    keys = list(zip(snation[mask], cnation[mask], years.tolist()))
+    revenue = _group_sum(keys, _rev(item, mask))
+    rows = [Row([("supp_nation", k[0]), ("cust_nation", k[1]),
+                 ("lyear", k[2]), ("revenue", v)])
+            for k, v in revenue.items()]
+    rows.sort(key=lambda r: (r["supp_nation"], r["cust_nation"],
+                             r["lyear"]))
+    return rows
+
+
+def q8(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    customer = dataset.tables["customer"]
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    region = dataset.tables["region"]
+    part = dataset.tables["part"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    odate = orders["orderdate"][item["order"]]
+    cregion = region["name"][nation["region"][
+        customer["nation"][orders["cust"][item["order"]]]]]
+    ptype = part["type"][item["part"]]
+    mask = ((ptype == params["type"]) & (cregion == params["region"])
+            & (odate >= lo) & (odate <= hi))
+    years = (np.asarray(odate[mask], dtype="datetime64[D]")
+             .astype("datetime64[Y]").astype(int) + 1970)
+    snation = nation["name"][supplier["nation"][item["supplier"]]][mask]
+    volume = _rev(item, mask)
+    total = _group_sum(years.tolist(), volume)
+    national = _group_sum(
+        years.tolist(),
+        np.where(snation == params["nation"], volume, 0.0))
+    rows = [Row([("oyear", y), ("mkt_share", national[y] / total[y])])
+            for y in sorted(total)]
+    return rows
+
+
+def q9(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    part = dataset.tables["part"]
+    ps = dataset.tables["partsupp"]
+    colour = params["colour"]
+    part_ok = np.array([colour in n for n in part["name"]],
+                       dtype=bool)
+    mask = part_ok[item["part"]]
+    cost_by_pair = {(int(p), int(s)): float(c)
+                    for p, s, c in zip(ps["part"], ps["supplier"],
+                                       ps["cost"])}
+    years = (np.asarray(orders["orderdate"][item["order"]],
+                        dtype="datetime64[D]")
+             .astype("datetime64[Y]").astype(int) + 1970)
+    snation = nation["name"][supplier["nation"][item["supplier"]]]
+    profit = {}
+    for position in np.nonzero(mask)[0]:
+        pair = (int(item["part"][position]),
+                int(item["supplier"][position]))
+        cost = cost_by_pair[pair]
+        amount = (float(item["extendedprice"][position])
+                  * (1.0 - float(item["discount"][position]))
+                  - cost * float(item["quantity"][position]))
+        key = (snation[position], int(years[position]))
+        profit[key] = profit.get(key, 0.0) + amount
+    rows = [Row([("nation", k[0]), ("oyear", k[1]), ("profit", v)])
+            for k, v in profit.items()]
+    rows.sort(key=lambda r: (r["nation"], -r["oyear"]))
+    return rows
+
+
+def q10(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    customer = dataset.tables["customer"]
+    nation = dataset.tables["nation"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    odate = orders["orderdate"][item["order"]]
+    mask = ((item["returnflag"] == "R") & (odate >= lo) & (odate < hi))
+    custs = orders["cust"][item["order"]][mask]
+    revenue = _group_sum(custs.tolist(), _rev(item, mask))
+    rows = [Row([("cust", Ref("Customer", c)),
+                 ("c_name", customer["name"][c]),
+                 ("c_acctbal", float(customer["acctbal"][c])),
+                 ("n_name", nation["name"][customer["nation"][c]]),
+                 ("revenue", v)])
+            for c, v in revenue.items()]
+    rows.sort(key=lambda r: -r["revenue"])
+    return rows[:20]
+
+
+def q11(dataset, params):
+    supplier = dataset.tables["supplier"]
+    nation = dataset.tables["nation"]
+    ps = dataset.tables["partsupp"]
+    german = (nation["name"][supplier["nation"][ps["supplier"]]]
+              == params["nation"])
+    value = ps["cost"] * ps["available"]
+    total = float(value[german].sum())
+    threshold = total * params["fraction"]
+    stock = _group_sum(ps["part"][german].tolist(), value[german])
+    rows = [Row([("part", Ref("Part", p)), ("stock", v)])
+            for p, v in stock.items() if v > threshold]
+    rows.sort(key=lambda r: -r["stock"])
+    return rows
+
+
+def q12(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    mask = (((item["shipmode"] == params["mode1"])
+             | (item["shipmode"] == params["mode2"]))
+            & (item["commitdate"] < item["receiptdate"])
+            & (item["shipdate"] < item["commitdate"])
+            & (item["receiptdate"] >= lo) & (item["receiptdate"] < hi))
+    priority = orders["orderpriority"][item["order"]][mask]
+    urgent = np.isin(priority, ["1-URGENT", "2-HIGH"])
+    modes = item["shipmode"][mask]
+    high = _group_sum(modes.tolist(), urgent.astype(float))
+    low = _group_sum(modes.tolist(), (~urgent).astype(float))
+    return [Row([("shipmode", m), ("high_count", int(high[m])),
+                 ("low_count", int(low[m]))])
+            for m in sorted(high)]
+
+
+def q13(dataset, params):
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    clerks = orders["clerk"][item["order"]]
+    mask = (clerks == params["clerk"]) & (item["returnflag"] == "R")
+    years = (np.asarray(orders["orderdate"][item["order"]][mask],
+                        dtype="datetime64[D]")
+             .astype("datetime64[Y]").astype(int) + 1970)
+    loss = _group_sum(years.tolist(), _rev(item, mask))
+    return [Row([("year", y), ("loss", loss[y])]) for y in sorted(loss)]
+
+
+def q14(dataset, params):
+    item = dataset.tables["item"]
+    part = dataset.tables["part"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    mask = (item["shipdate"] >= lo) & (item["shipdate"] < hi)
+    revenue = _rev(item, mask)
+    promo = np.array([t.startswith("PROMO")
+                      for t in part["type"][item["part"]][mask]],
+                     dtype=bool)
+    total = float(revenue.sum())
+    if total == 0:
+        return 0.0
+    return 100.0 * float(revenue[promo].sum()) / total
+
+
+def q15(dataset, params):
+    item = dataset.tables["item"]
+    supplier = dataset.tables["supplier"]
+    lo, hi = date_to_days(params["d1"]), date_to_days(params["d2"])
+    mask = (item["shipdate"] >= lo) & (item["shipdate"] < hi)
+    revenue = _group_sum(item["supplier"][mask].tolist(),
+                         _rev(item, mask))
+    if not revenue:
+        return []
+    best = max(revenue.values())
+    rows = [Row([("s_name", supplier["name"][s]),
+                 ("s_address", supplier["address"][s]),
+                 ("s_phone", supplier["phone"][s]),
+                 ("total_revenue", v)])
+            for s, v in revenue.items() if v >= best * (1 - 1e-9)]
+    rows.sort(key=lambda r: r["s_name"])
+    return rows
+
+
+REFERENCES = {1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8,
+              9: q9, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14,
+              15: q15}
+
+
+def reference(number, dataset, params):
+    """Run the reference implementation of one query."""
+    return REFERENCES[number](dataset, params)

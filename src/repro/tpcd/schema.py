@@ -1,0 +1,80 @@
+"""The nested MOA schema for TPC-D — the paper's Figure 1, verbatim.
+
+The relational TPC-D schema is reformulated object-orientedly: orders
+own a *set* of items, customers own a *set* of orders, and a supplier
+owns a *set* of ``<part, cost, available>`` tuples (the PARTSUPP
+table); the SQL GROUP BY maps to MOA's nesting.
+"""
+
+from ..moa.schema import Schema, ref, setof, tupleof
+from ..moa.types import CHAR, DOUBLE, INSTANT, INT, STRING
+
+
+def tpcd_schema():
+    """Build the Figure 1 schema."""
+    schema = Schema()
+    schema.define("Region", [
+        ("name", STRING),
+        ("comment", STRING),
+    ])
+    schema.define("Nation", [
+        ("name", STRING),
+        ("region", ref("Region")),
+    ])
+    schema.define("Part", [
+        ("name", STRING),
+        ("manufacturer", STRING),
+        ("brand", STRING),
+        ("type", STRING),
+        ("size", INT),
+        ("container", STRING),
+        ("retailPrice", DOUBLE),
+    ])
+    schema.define("Supplier", [
+        ("name", STRING),
+        ("address", STRING),
+        ("phone", STRING),
+        ("acctbal", DOUBLE),
+        ("nation", ref("Nation")),
+        ("supplies", setof(tupleof(
+            ("part", ref("Part")),
+            ("cost", DOUBLE),
+            ("available", INT),
+        ))),
+    ])
+    schema.define("Customer", [
+        ("name", STRING),
+        ("address", STRING),
+        ("phone", STRING),
+        ("acctbal", DOUBLE),
+        ("nation", ref("Nation")),
+        ("mktsegment", STRING),
+        ("orders", setof(ref("Order"))),
+    ])
+    schema.define("Order", [
+        ("cust", ref("Customer")),
+        ("item", setof(ref("Item"))),
+        ("status", CHAR),
+        ("totalprice", DOUBLE),
+        ("orderdate", INSTANT),
+        ("orderpriority", STRING),
+        ("clerk", STRING),
+        ("shippriority", STRING),
+    ])
+    schema.define("Item", [
+        ("part", ref("Part")),
+        ("supplier", ref("Supplier")),
+        ("order", ref("Order")),
+        ("quantity", INT),
+        ("returnflag", CHAR),
+        ("linestatus", CHAR),
+        ("extendedprice", DOUBLE),
+        ("discount", DOUBLE),
+        ("tax", DOUBLE),
+        ("shipdate", INSTANT),
+        ("commitdate", INSTANT),
+        ("receiptdate", INSTANT),
+        ("shipmode", STRING),
+        ("shipinstruct", STRING),
+    ])
+    return schema.validate()

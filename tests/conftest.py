@@ -1,0 +1,82 @@
+"""Shared fixtures: a small hand-built MOA database + a tiny TPC-D."""
+
+import pytest
+
+from repro.moa import MOADatabase, Schema, ref, setof, tupleof
+from repro.moa.types import CHAR, DOUBLE, INSTANT, INT, STRING
+from repro.monet.atoms import date_to_days as d
+
+
+def small_schema():
+    schema = Schema()
+    schema.define("Region", [("name", STRING)])
+    schema.define("Nation", [("name", STRING),
+                             ("region", ref("Region"))])
+    schema.define("Supplier", [
+        ("name", STRING), ("acctbal", DOUBLE),
+        ("nation", ref("Nation")),
+        ("supplies", setof(tupleof(("cost", DOUBLE),
+                                   ("available", INT)))),
+    ])
+    schema.define("Order", [("clerk", STRING), ("orderdate", INSTANT)])
+    schema.define("Item", [
+        ("order", ref("Order")), ("returnflag", CHAR),
+        ("extendedprice", DOUBLE), ("discount", DOUBLE),
+        ("tags", setof(STRING)),
+    ])
+    return schema
+
+
+def small_data():
+    return {
+        "Region": {0: {"name": "EUROPE"}, 1: {"name": "ASIA"}},
+        "Nation": {0: {"name": "FRANCE", "region": 0},
+                   1: {"name": "JAPAN", "region": 1}},
+        "Supplier": {
+            0: {"name": "s0", "acctbal": 10.0, "nation": 0,
+                "supplies": [{"cost": 5.0, "available": 0},
+                             {"cost": 7.0, "available": 3}]},
+            1: {"name": "s1", "acctbal": 20.0, "nation": 1,
+                "supplies": [{"cost": 2.0, "available": 0}]},
+            2: {"name": "s2", "acctbal": -3.5, "nation": 1,
+                "supplies": []},
+        },
+        "Order": {
+            100: {"clerk": "Clerk#1", "orderdate": d("1995-03-05")},
+            101: {"clerk": "Clerk#2", "orderdate": d("1996-07-01")},
+            102: {"clerk": "Clerk#1", "orderdate": d("1995-11-11")},
+        },
+        "Item": {
+            0: {"order": 100, "returnflag": "R", "extendedprice": 100.0,
+                "discount": 0.1, "tags": ["a", "b"]},
+            1: {"order": 100, "returnflag": "N", "extendedprice": 50.0,
+                "discount": 0.0, "tags": []},
+            2: {"order": 101, "returnflag": "R", "extendedprice": 80.0,
+                "discount": 0.2, "tags": ["b"]},
+            3: {"order": 102, "returnflag": "R", "extendedprice": 30.0,
+                "discount": 0.0, "tags": ["c", "a", "b"]},
+            4: {"order": 102, "returnflag": "A", "extendedprice": 10.0,
+                "discount": 0.0, "tags": ["a"]},
+        },
+    }
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    db = MOADatabase(small_schema())
+    db.load(small_data())
+    db.build_accelerators()
+    return db
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcd():
+    from repro.tpcd import generate
+    return generate(scale=0.0005, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcd_db(tiny_tpcd):
+    from repro.tpcd import load_tpcd
+    db, _report = load_tpcd(tiny_tpcd)
+    return db

@@ -1,0 +1,101 @@
+"""Section 5.2.2 analytic model: formulas, crossover, validation."""
+
+import math
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.costmodel import (CostModelParams, crossover, e_dv, e_rel,
+                             figure8_series, validate)
+
+PAPER = CostModelParams(n_rows=6_000_000, n_attrs=16, width=4,
+                        page_size=4096)
+
+
+def test_entries_per_page():
+    assert PAPER.c_inv == 512      # B / 2w
+    assert PAPER.c_rel == 60       # B / (n+1)w
+    assert PAPER.c_bat == 512
+    assert PAPER.c_dv == 1024      # B / w
+
+
+def test_formulas_by_hand():
+    # E_rel(s) = ceil(sX/C_inv) + ceil(X/C_rel)(1-(1-s)^C_rel)
+    s = 0.01
+    expected = (math.ceil(s * 6e6 / 512)
+                + math.ceil(6e6 / 60) * (1 - (1 - s) ** 60))
+    assert abs(e_rel(s, PAPER) - expected) < 1e-9
+    # E_dv(s) = ceil(sX/C_bat) + (p+1) ceil(X/C_dv)(1-(1-s)^C_dv)
+    expected = (math.ceil(s * 6e6 / 512)
+                + 4 * math.ceil(6e6 / 1024) * (1 - (1 - s) ** 1024))
+    assert abs(e_dv(s, 3, PAPER) - expected) < 1e-9
+
+
+def test_zero_selectivity():
+    assert e_rel(0.0, PAPER) == 0
+    assert e_dv(0.0, 3, PAPER) == 0
+
+
+def test_full_selectivity_bounds():
+    # at s=1 every page of every structure is touched
+    assert e_rel(1.0, PAPER) == math.ceil(6e6 / 512) + math.ceil(6e6 / 60)
+    assert e_dv(1.0, 0, PAPER) == math.ceil(6e6 / 512) \
+        + math.ceil(6e6 / 1024)
+
+
+def test_paper_crossover():
+    # "the crossover point for n = 16, p = 3 is at s ~ 0.004"
+    point = crossover(3, PAPER)
+    assert point is not None
+    assert 0.003 < point < 0.006
+
+
+def test_crossover_grows_with_p():
+    # more projected attributes -> more semijoins -> later crossover
+    points = [crossover(p, PAPER) for p in (1, 3, 6, 9)]
+    assert all(p is not None for p in points)
+    assert points == sorted(points)
+
+
+def test_monet_wins_above_crossover():
+    point = crossover(3, PAPER)
+    assert e_dv(point * 2, 3, PAPER) < e_rel(point * 2, PAPER)
+    assert e_dv(point / 2, 3, PAPER) > e_rel(point / 2, PAPER)
+
+
+def test_no_crossover_for_huge_p():
+    # with enough semijoins the dv strategy never wins on this range
+    assert crossover(40, PAPER, hi=0.5) is None
+
+
+def test_figure8_series_shape():
+    grid, series = figure8_series(PAPER)
+    assert len(series) == 6
+    assert all(len(v) == len(grid) for v in series.values())
+    # monotone non-decreasing in s
+    for values in series.values():
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+    # Edv curves ordered by p
+    assert all(a <= b for a, b in
+               zip(series["Edv(p=1,n=16)"], series["Edv(p=3,n=16)"]))
+
+
+def test_invalid_params():
+    with pytest.raises(CostModelError):
+        CostModelParams(n_rows=0)
+    with pytest.raises(CostModelError):
+        e_rel(1.5, PAPER)
+    with pytest.raises(CostModelError):
+        e_dv(0.1, -1, PAPER)
+
+
+def test_empirical_validation_tracks_model():
+    rows = validate(n_rows=30_000, selectivities=(0.01, 0.2),
+                    p_attrs=3)
+    for row in rows:
+        # the relational side is driven by exactly the model's math
+        assert row["measured_rel"] <= 2.5 * row["model_rel"] + 10
+        assert row["model_rel"] <= 2.5 * row["measured_rel"] + 10
+        # the dv side adds probe/selection noise; same order of
+        # magnitude is the claim
+        assert row["measured_dv"] <= 4 * row["model_dv"] + 30

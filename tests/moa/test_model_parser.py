@@ -1,0 +1,221 @@
+"""MOA types, schema, values, parser, structure functions."""
+
+import pytest
+
+from repro.errors import (EvaluationError, ParseError, SchemaError,
+                          TypeSystemError)
+from repro.moa import Bag, Ref, Row, Schema, parse, ref, setof, tupleof
+from repro.moa import ast
+from repro.moa.types import (DOUBLE, INT, STRING, BaseType, ClassRef,
+                             SetType, TupleType)
+from repro.moa.values import (canonical_key, equivalent, is_ivs,
+                              is_synchronous, sequences_equivalent)
+
+
+# ----------------------------------------------------------------------
+# type system (section 3.3 formal definition)
+# ----------------------------------------------------------------------
+def test_type_constructors_compose():
+    t = SetType(TupleType([("a", INT), ("b", SetType(STRING))]))
+    assert t.render() == "{<a: int, b: {string}>}"
+    assert t == SetType(TupleType([("a", INT),
+                                   ("b", SetType(STRING))]))
+    assert hash(t) == hash(SetType(TupleType([("a", INT),
+                                              ("b", SetType(STRING))])))
+
+
+def test_tuple_field_access():
+    t = TupleType([("x", INT), ("y", DOUBLE)])
+    assert t.field("y") is DOUBLE
+    assert t.field_at(1) == ("x", INT)
+    with pytest.raises(TypeSystemError):
+        t.field("z")
+    with pytest.raises(TypeSystemError):
+        t.field_at(3)
+
+
+def test_tuple_duplicate_names_rejected():
+    with pytest.raises(TypeSystemError):
+        TupleType([("x", INT), ("x", INT)])
+
+
+def test_void_not_a_base_type():
+    with pytest.raises(TypeSystemError):
+        BaseType("void")
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def test_schema_validation_catches_dangling_ref():
+    schema = Schema()
+    schema.define("A", [("b", ref("B"))])
+    with pytest.raises(SchemaError):
+        schema.validate()
+
+
+def test_schema_cycles_allowed():
+    schema = Schema()
+    schema.define("A", [("b", ref("B"))])
+    schema.define("B", [("a", ref("A"))])
+    schema.validate()
+
+
+def test_schema_duplicate_class():
+    schema = Schema()
+    schema.define("A", [("x", INT)])
+    with pytest.raises(SchemaError):
+        schema.define("A", [("x", INT)])
+
+
+def test_schema_render_figure1_style():
+    schema = Schema()
+    schema.define("Nation", [("name", STRING),
+                             ("region", ref("Region"))])
+    text = schema.render()
+    assert "class Nation <" in text
+    assert "region : Region" in text
+
+
+# ----------------------------------------------------------------------
+# values
+# ----------------------------------------------------------------------
+def test_ref_identity():
+    assert Ref("Item", 3) == Ref("Item", 3)
+    assert Ref("Item", 3) != Ref("Order", 3)
+    assert hash(Ref("Item", 3)) == hash(Ref("Item", 3))
+
+
+def test_row_access():
+    row = Row([("a", 1), ("b", "x")])
+    assert row["b"] == "x"
+    assert row.at(1) == 1
+    assert row.names == ("a", "b")
+    with pytest.raises(EvaluationError):
+        row["missing"]
+    with pytest.raises(EvaluationError):
+        row.at(3)
+    with pytest.raises(EvaluationError):
+        Row([("a", 1), ("a", 2)])
+
+
+def test_bag_multiset_equality():
+    assert Bag([1, 2, 2]) == Bag([2, 1, 2])
+    assert Bag([1, 2]) != Bag([1, 2, 2])
+
+
+def test_equivalent_float_tolerance():
+    assert equivalent(Bag([0.1 + 0.2]), Bag([0.3]))
+    assert equivalent(Row([("x", 1.0000000001)]), Row([("x", 1.0)]))
+    assert not equivalent(Row([("x", 1.1)]), Row([("x", 1.0)]))
+
+
+def test_sequences_equivalent_modes():
+    assert sequences_equivalent([1, 2], [2, 1])
+    assert not sequences_equivalent([1, 2], [2, 1], ordered=True)
+    assert sequences_equivalent([1, 2], [1, 2], ordered=True)
+
+
+def test_canonical_key_total_order():
+    values = [Bag([2, 1]), Row([("a", 1)]), Ref("X", 1), 3.5, True]
+    sorted(values, key=canonical_key)     # must not raise
+
+
+def test_ivs_formalism():
+    # section 3.3: ids unique within the set; synchronicity = same ids
+    assert is_ivs([(1, "a"), (2, "b")])
+    assert not is_ivs([(1, "a"), (1, "b")])
+    assert is_synchronous([(1, "a"), (2, "b")], [(2, 20), (1, 10)])
+    assert not is_synchronous([(1, "a")], [(2, "b")])
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def test_parse_paper_q13():
+    text = ('project[<date : year, sum(project[revenue](%2)) : loss>]('
+            'nest[date](project[<year(order.orderdate) : date, '
+            '*(extendedprice, -(1.0, discount)) : revenue>]('
+            'select[=(order.clerk, "Clerk#000000088"), '
+            "=(returnflag, 'R')](Item))))")
+    tree = parse(text)
+    assert isinstance(tree, ast.Project)
+    assert isinstance(tree.input, ast.Nest)
+    select = tree.input.input.input
+    assert isinstance(select, ast.Select)
+    assert len(select.predicates) == 2
+    assert isinstance(select.input, ast.Name)
+
+
+def test_parse_render_round_trip():
+    texts = [
+        "select[=(a, 1)](X)",
+        "project[<a : x, sum(project[b](%2)) : s>](X)",
+        'select[=(order.clerk, "C"), <(shipdate, date("1998-09-02"))](Item)',
+        "join[a, b](X, Y)",
+        "semijoin[%0, order](X, Y)",
+        "antijoin[%1, %2](X, Y)",
+        "nest[a, b : key](X)",
+        "unnest[supplies](X)",
+        "sort[a asc, b desc](X)",
+        "top[10](X)",
+        "union(X, Y)",
+        "difference(X, Y)",
+        "intersection(X, Y)",
+        "in(a, X)",
+        "not(=(a, 1))",
+        "ifthenelse(=(a, 1), b, c)",
+    ]
+    for text in texts:
+        tree = parse(text)
+        assert parse(tree.render()).render() == tree.render()
+
+
+def test_parse_literals():
+    assert parse("1").value == 1
+    assert parse("1.5").value == 1.5
+    assert parse('"xyz"').value == "xyz"
+    assert parse("'R'").atom_name == "char"
+    assert parse("true").value is True
+    lit = parse('date("1970-01-02")')
+    assert lit.atom_name == "instant" and lit.value == 1
+
+
+def test_parse_percent_forms():
+    assert isinstance(parse("%0"), ast.Element)
+    pos = parse("%2")
+    assert isinstance(pos, ast.Pos) and pos.index == 2
+    attr = parse("%supplies")
+    assert isinstance(attr, ast.Attr) and attr.name == "supplies"
+    deep = parse("%1.%2.cost")
+    assert isinstance(deep, ast.Attr)
+    assert isinstance(deep.base, ast.Pos)
+
+
+def test_parse_less_than_vs_tuple():
+    cmp_node = parse("<(a, b)")
+    assert isinstance(cmp_node, ast.BinOp) and cmp_node.op == "<"
+    tup = parse("<a, b>")
+    assert isinstance(tup, ast.TupleCons)
+    # '>' operator item inside a tuple
+    mixed = parse("<>(a, b) : flag>")
+    assert isinstance(mixed, ast.TupleCons)
+    assert isinstance(mixed.items[0][0], ast.BinOp)
+
+
+def test_parse_errors():
+    for bad in ["select[](X)", "select[=(a, 1)]", "top[x](X)",
+                "project[<>](X)", "<(a", "sum(X, Y)", "1 2",
+                'date("foo!")', "%"]:
+        with pytest.raises((ParseError, ValueError)):
+            parse(bad)
+
+
+def test_parse_error_reports_position():
+    try:
+        parse("select[=(a,\n !!)](X)")
+    except ParseError as exc:
+        assert exc.position is not None
+        assert "line 2" in str(exc)
+    else:
+        raise AssertionError("expected a ParseError")

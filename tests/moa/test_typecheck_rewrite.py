@@ -1,0 +1,202 @@
+"""Resolver/type checker + rewriter structure tests."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.moa import parse, resolve
+from repro.moa import ast
+from repro.moa.types import (BOOLEAN, DOUBLE, INT, LONG, ClassRef,
+                             SetType, TupleType)
+
+import importlib.util as _ilu
+import pathlib as _pl
+
+_spec = _ilu.spec_from_file_location(
+    "_tests_conftest", _pl.Path(__file__).parent.parent / "conftest.py")
+_conftest = _ilu.module_from_spec(_spec)
+_spec.loader.exec_module(_conftest)
+small_schema = _conftest.small_schema
+
+
+def _resolve(text):
+    return resolve(parse(text), small_schema())
+
+
+# ----------------------------------------------------------------------
+# name resolution
+# ----------------------------------------------------------------------
+def test_bare_names_resolve_to_attributes_and_extents():
+    resolved = _resolve("select[=(returnflag, 'R')](Item)")
+    select = resolved.root
+    assert isinstance(select.input, ast.Extent)
+    predicate = select.predicates[0]
+    assert isinstance(predicate.left, ast.Attr)
+    assert isinstance(predicate.left.base, ast.Element)
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(TypeCheckError):
+        _resolve("select[=(nonsense, 1)](Item)")
+    with pytest.raises(TypeCheckError):
+        _resolve("select[=(returnflag, 'R')](NoSuchClass)")
+
+
+def test_navigation_typing():
+    resolved = _resolve("select[=(order.clerk, \"x\")](Item)")
+    pred = resolved.root.predicates[0]
+    assert resolved.type_of(pred) == BOOLEAN
+    assert resolved.type_of(pred.left).atom.name == "string"
+
+
+def test_result_types():
+    assert _resolve("Item").result_type == SetType(ClassRef("Item"))
+    resolved = _resolve(
+        "project[<extendedprice : p, discount : d>](Item)")
+    element = resolved.result_type.element
+    assert isinstance(element, TupleType)
+    assert element.field("p") == DOUBLE
+    single = _resolve("project[extendedprice](Item)")
+    assert single.result_type == SetType(DOUBLE)
+
+
+def test_nest_type_adds_group():
+    resolved = _resolve("nest[returnflag](Item)")
+    element = resolved.result_type.element
+    assert element.field("returnflag").atom.name == "char"
+    assert element.field("group") == SetType(ClassRef("Item"))
+
+
+def test_join_produces_pair_type():
+    resolved = _resolve("join[%0, order](Order, Item)")
+    element = resolved.result_type.element
+    assert element.field("_1") == ClassRef("Order")
+    assert element.field("_2") == ClassRef("Item")
+
+
+def test_aggregate_typing():
+    assert _resolve("count(Item)").result_type == LONG
+    assert _resolve("sum(project[extendedprice](Item))").result_type \
+        == DOUBLE
+    assert _resolve("avg(project[discount](Item))").result_type == DOUBLE
+    with pytest.raises(TypeCheckError):
+        _resolve("sum(project[returnflag](Item))")
+
+
+def test_arithmetic_widening_and_division():
+    resolved = _resolve(
+        "project[*(extendedprice, discount)](Item)")
+    assert resolved.result_type.element == DOUBLE
+    resolved = _resolve("project[/(extendedprice, 2)](Item)")
+    assert resolved.result_type.element == DOUBLE
+
+
+def test_comparison_type_errors():
+    with pytest.raises(TypeCheckError):
+        _resolve("select[=(returnflag, 1)](Item)")
+    with pytest.raises(TypeCheckError):
+        _resolve("select[<(order, order)](Item)")     # refs not ordered
+    with pytest.raises(TypeCheckError):
+        _resolve("select[and(returnflag, 1)](Item)")
+
+
+def test_ref_equality_allowed():
+    resolved = _resolve("select[=(order, order)](Item)")
+    assert resolved.type_of(resolved.root.predicates[0]) == BOOLEAN
+
+
+def test_ifthenelse_typing():
+    resolved = _resolve(
+        "project[ifthenelse(=(returnflag, 'R'), extendedprice, 0.0)]"
+        "(Item)")
+    assert resolved.result_type.element == DOUBLE
+    with pytest.raises(TypeCheckError):
+        _resolve("project[ifthenelse(=(returnflag, 'R'), "
+                 "extendedprice, returnflag)](Item)")
+
+
+def test_call_signatures():
+    with pytest.raises(TypeCheckError):
+        _resolve("project[year(extendedprice)](Item)")
+    with pytest.raises(TypeCheckError):
+        _resolve("project[startswith(extendedprice, \"x\")](Item)")
+    with pytest.raises(TypeCheckError):
+        _resolve("project[frobnicate(returnflag)](Item)")
+
+
+def test_nested_set_scope():
+    resolved = _resolve(
+        "project[<%name, select[=(%available, 0)](%supplies) : z>]"
+        "(Supplier)")
+    element = resolved.result_type.element
+    assert isinstance(element.field("z"), SetType)
+
+
+def test_sort_key_must_be_comparable():
+    with pytest.raises(TypeCheckError):
+        _resolve("sort[order asc](Item)")     # a reference
+
+
+def test_setop_type_match():
+    with pytest.raises(TypeCheckError):
+        _resolve("union(Item, Order)")
+
+
+def test_in_typing():
+    resolved = _resolve(
+        "select[in(nation, project[%0](Nation))](Supplier)")
+    assert resolved.type_of(resolved.root.predicates[0]) == BOOLEAN
+    with pytest.raises(TypeCheckError):
+        _resolve("select[in(acctbal, project[%0](Nation))](Supplier)")
+
+
+# ----------------------------------------------------------------------
+# rewriter structure (MIL text level)
+# ----------------------------------------------------------------------
+def test_select_rule_emits_semijoin(small_db):
+    text = small_db.mil_text("select[=(returnflag, 'R')](Item)")
+    # the paper's rule: SET(semijoin(A, T(f(X))), X)
+    assert "select(Item_returnflag" in text
+    assert "semijoin(Item" in text
+
+
+def test_indexable_path_plan_is_q13_shaped(small_db):
+    text = small_db.mil_text(
+        'select[=(order.clerk, "Clerk#1")](Item)')
+    lines = text.splitlines()
+    assert any('select(Order_clerk, "Clerk#1")' in ln for ln in lines)
+    assert any("join(Item_order" in ln for ln in lines)
+
+
+def test_nest_emits_group_chain(small_db):
+    text = small_db.mil_text(
+        "nest[returnflag, discount](Item)")
+    assert text.count("group(") == 2      # unary + binary group
+    assert "{min}" in text                # key extraction
+
+
+def test_nested_aggregate_single_setaggregate(small_db):
+    text = small_db.mil_text(
+        "project[<returnflag : f, sum(project[extendedprice](%group)) "
+        ": s>](nest[returnflag](Item))")
+    assert text.count("{sum}") == 1       # "in one go"
+
+
+def test_nested_selection_is_flattened(small_db):
+    text = small_db.mil_text(
+        "project[<%name, select[=(%available, 0)](%supplies) : z>]"
+        "(Supplier)")
+    # one selection over the flattened field BAT — not per supplier
+    assert text.count("select(") == 1
+
+
+def test_scalar_root_uses_aggr_all(small_db):
+    _resolved, result = small_db.compile("count(Item)")
+    assert result.scalar_var is not None
+    assert "count(" in result.program.render()
+
+
+def test_column_cache_dedups_semijoins(small_db):
+    text = small_db.mil_text(
+        "project[<extendedprice : a, *(extendedprice, discount) : b>]"
+        "(Item)")
+    assert text.count("semijoin(Item_extendedprice") == 1

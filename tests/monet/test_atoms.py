@@ -1,0 +1,116 @@
+"""Atom type registry: parsing, coercion, widening, extensibility."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import AtomError
+from repro.monet import atoms
+
+
+def test_registry_has_paper_types():
+    # section 3.1: {bool, short, integer, float, double, long, string}
+    for name in ("bool", "short", "int", "float", "double", "long",
+                 "string", "oid", "char", "void", "instant"):
+        assert atoms.atom(name).name == name
+
+
+def test_aliases():
+    assert atoms.atom("integer") is atoms.INT
+    assert atoms.atom("str") is atoms.STRING
+    assert atoms.atom("dbl") is atoms.DOUBLE
+    assert atoms.atom("date") is atoms.INSTANT
+
+
+def test_unknown_atom():
+    with pytest.raises(AtomError):
+        atoms.atom("quaternion")
+
+
+def test_atom_identity_passthrough():
+    assert atoms.atom(atoms.INT) is atoms.INT
+
+
+def test_widths_match_dtypes():
+    assert atoms.SHORT.width == 2
+    assert atoms.INT.width == 4
+    assert atoms.LONG.width == 8
+    assert atoms.DOUBLE.width == 8
+    assert atoms.VOID.width == 0
+    # string column entries are 4-byte heap indices
+    assert atoms.STRING.width == 4
+
+
+def test_int_coercion_bounds():
+    assert atoms.SHORT.coerce(32767) == 32767
+    with pytest.raises(AtomError):
+        atoms.SHORT.coerce(32768)
+    with pytest.raises(AtomError):
+        atoms.INT.coerce(2 ** 31)
+    with pytest.raises(AtomError):
+        atoms.OID.coerce(-1)
+
+
+def test_bool_not_an_int():
+    with pytest.raises(AtomError):
+        atoms.INT.coerce(True)
+    assert atoms.BOOL.coerce(np.bool_(True)) is True
+
+
+def test_float_coercion():
+    assert atoms.DOUBLE.coerce(3) == 3.0
+    assert atoms.DOUBLE.coerce(np.float64(2.5)) == 2.5
+    with pytest.raises(AtomError):
+        atoms.DOUBLE.coerce("x")
+
+
+def test_char_coercion():
+    assert atoms.CHAR.coerce("R") == "R"
+    with pytest.raises(AtomError):
+        atoms.CHAR.coerce("RR")
+
+
+def test_instant_round_trip():
+    days = atoms.date_to_days("1998-09-02")
+    assert atoms.days_to_date(days) == datetime.date(1998, 9, 2)
+    assert atoms.INSTANT.coerce(datetime.date(1998, 9, 2)) == days
+    assert atoms.INSTANT.coerce(days) == days
+    assert atoms.INSTANT.fmt(days) == "1998-09-02"
+
+
+def test_instant_epoch():
+    assert atoms.date_to_days("1970-01-01") == 0
+
+
+def test_bool_parse():
+    assert atoms.BOOL.parse("true") is True
+    assert atoms.BOOL.parse("F") is False
+    with pytest.raises(AtomError):
+        atoms.BOOL.parse("maybe")
+
+
+def test_common_numeric_widening():
+    assert atoms.common_numeric(atoms.INT, atoms.DOUBLE) is atoms.DOUBLE
+    assert atoms.common_numeric(atoms.SHORT, atoms.INT) is atoms.INT
+    assert atoms.common_numeric(atoms.LONG, atoms.FLOAT) is atoms.FLOAT
+    with pytest.raises(AtomError):
+        atoms.common_numeric(atoms.STRING, atoms.INT)
+
+
+def test_is_numeric():
+    assert atoms.is_numeric(atoms.DOUBLE)
+    assert not atoms.is_numeric(atoms.STRING)
+    assert not atoms.is_numeric(atoms.INSTANT)
+
+
+def test_runtime_extensibility():
+    # section 2: base types can be added via the ADT mechanism
+    name = "test_only_point"
+    if name not in atoms.ATOMS:
+        atoms.register_atom(atoms.Atom(
+            name, np.float64, 8, float, lambda v: float(v), str))
+    assert atoms.atom(name).width == 8
+    with pytest.raises(AtomError):
+        atoms.register_atom(atoms.Atom(
+            name, np.float64, 8, float, lambda v: float(v), str))

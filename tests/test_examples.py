@@ -1,0 +1,27 @@
+"""The examples must stay runnable (they are part of the deliverable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "nested_sets.py",
+                                    "datavector_demo.py"])
+def test_example_runs(script):
+    proc = subprocess.run([sys.executable, str(EXAMPLES / script)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_tpcd_analytics_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "tpcd_analytics.py"), "0.0005"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Figure 10" in proc.stdout
+    assert "Q15" in proc.stdout
