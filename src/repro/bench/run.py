@@ -1,0 +1,326 @@
+"""Benchmark-regression harness: ``python -m repro.bench.run``.
+
+Runs the operator microbenchmarks and the Figure 9 TPC-D queries at a
+fixed small scale factor and writes ``BENCH_operators.json`` — the
+repo's perf trajectory file.  Each operator entry records
+
+* ``median_ms`` — median wall time of the full operator call,
+* ``kernel_ms`` — the vectorised kernel alone on the same key arrays,
+* ``reference_ms`` — the naive dict/set/loop kernel
+  (:mod:`repro.monet.operators.naive`, the pre-vectorisation
+  algorithms) on the same arrays,
+* ``speedup`` — ``reference_ms / kernel_ms``,
+* ``rows`` — result cardinality (a correctness canary: the vectorised
+  and reference kernels must agree before timings are recorded),
+* ``faults`` — simulated cold-cache page faults of the operator call.
+
+Query entries record median wall ms, simulated faults and result
+cardinality.  ``--quick`` shrinks SF and repetitions for the smoke
+test wired into the tier-1 suite (``tests/test_bench_smoke.py``), so
+the harness cannot silently rot between PRs.
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from ..monet import bat_from_columns_values, compute_props
+from ..monet import operators as ops
+from ..monet.buffer import BufferManager
+from ..monet.buffer import use as use_manager
+from ..monet.column import equality_keys
+from ..monet.operators import naive
+from ..monet.optimizer import dispatch_disabled
+from ..monet import vectorized as vz
+from ..tpcd import QUERIES, generate, load_tpcd
+from .harness import measure_query_faults
+
+DEFAULT_SF = 0.01
+QUICK_SF = 0.0005
+
+
+def _median_ms(fn, reps):
+    times = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - started) * 1000.0)
+    return statistics.median(times)
+
+
+def _faults(fn):
+    manager = BufferManager(page_size=4096)
+    with use_manager(manager):
+        fn()
+    return manager.faults
+
+
+def _bat(head_atom, heads, tail_atom, tails):
+    bat = bat_from_columns_values(head_atom, heads, tail_atom, tails)
+    bat.props = compute_props(bat)
+    return bat
+
+
+def _operand_bats(dataset):
+    """Operator benchmark operands drawn from the TPC-D columns."""
+    item = dataset.tables["item"]
+    orders = dataset.tables["orders"]
+    n_item = len(item["order"])
+    n_orders = len(orders["cust"])
+    item_oids = list(range(n_item))
+    rng = np.random.default_rng(dataset.seed)
+
+    operands = {}
+    # [item oid, order id]: the N:1 join/grouping column of Q3/Q10/Q13
+    operands["item_order"] = _bat("oid", item_oids, "long",
+                                  item["order"].tolist())
+    # [order id (permuted), customer]: hashjoin inner, not head-ordered
+    perm = rng.permutation(n_orders)
+    operands["orders_cust"] = _bat(
+        "long", perm.tolist(),
+        "long", orders["cust"][perm].tolist())
+    # [item oid, extendedprice]: aggregation payload
+    operands["item_price"] = _bat("oid", item_oids, "double",
+                                  item["extendedprice"].tolist())
+    # grouped aggregate input [order id, extendedprice]
+    operands["order_price"] = _bat("long", item["order"].tolist(),
+                                   "double",
+                                   item["extendedprice"].tolist())
+    # a selection of item oids (~20%), semijoin probe side
+    step5 = list(range(0, n_item, 5))
+    operands["item_sel"] = _bat("oid", step5, "oid", step5)
+    # two overlapping [oid, quantity] windows for the set operations
+    half = n_item // 2
+    quantity = item["quantity"].tolist()
+    operands["items_lo"] = bat_from_columns_values(
+        "oid", item_oids[:half + half // 2], "long",
+        quantity[:half + half // 2])
+    operands["items_hi"] = bat_from_columns_values(
+        "oid", item_oids[half // 2:], "long", quantity[half // 2:])
+    return operands
+
+
+def _operator_cases(operands):
+    """name -> (operator thunk, kernel thunk, reference thunk, rows checker).
+
+    Kernel and reference thunks run on identical equality-key arrays;
+    their results are compared once before timing so the recorded
+    speedup is for verified-identical output.
+    """
+    ab = operands["item_order"]
+    cd = operands["orders_cust"]
+    sel = operands["item_sel"]
+    price = operands["item_price"]
+    grouped = operands["order_price"]
+    lo, hi = operands["items_lo"], operands["items_hi"]
+
+    join_l, join_r = equality_keys(ab.tail, cd.head)
+    semi_l, semi_r = equality_keys(price.head, sel.head)
+    group_keys = grouped.head.keys()
+    sum_codes, sum_groups = vz.factorize(group_keys)
+    sum_values = np.asarray(grouped.tail.logical(), dtype=np.float64)
+    uniq_h, uniq_t = lo.head.keys(), lo.tail.keys()
+    diff_l, diff_r = equality_keys(lo.tail, hi.tail)
+
+    def hashjoin():
+        with dispatch_disabled():
+            return ops.join(ab, cd)
+
+    def semijoin():
+        with dispatch_disabled():
+            return ops.semijoin(price, sel)
+
+    def unique_codes():
+        h_codes, _n_h = vz.factorize(uniq_h)
+        t_codes, n_t = vz.factorize(uniq_t)
+        return vz.first_occurrence(
+            vz.combine_codes(h_codes, t_codes, n_t))
+
+    def unique_codes_naive():
+        h_codes, _n_h = naive.factorize(uniq_h)
+        t_codes, n_t = naive.factorize(uniq_t)
+        return naive.first_occurrence(
+            vz.combine_codes(h_codes, t_codes, n_t))
+
+    cases = {
+        "hashjoin": (
+            hashjoin,
+            lambda: vz.join_match(join_l, join_r),
+            lambda: naive.join_match(join_l, join_r),
+            lambda out: len(out)),
+        "semijoin": (
+            semijoin,
+            lambda: vz.membership_mask(semi_l, semi_r),
+            lambda: naive.membership_mask(semi_l, semi_r),
+            lambda out: len(out)),
+        "group": (
+            lambda: ops.group1(grouped),
+            lambda: vz.factorize(group_keys),
+            lambda: naive.factorize(group_keys),
+            lambda out: len(out)),
+        "aggregate": (
+            lambda: ops.set_aggregate("sum", grouped),
+            # the operator's float-sum kernel is a weighted bincount
+            lambda: np.bincount(sum_codes, weights=sum_values,
+                                minlength=sum_groups),
+            lambda: naive.grouped_sum(sum_values, sum_codes,
+                                      sum_groups),
+            lambda out: len(out)),
+        "unique": (
+            lambda: ops.unique(lo),
+            unique_codes,
+            unique_codes_naive,
+            lambda out: len(out)),
+        "difference": (
+            lambda: ops.difference(lo, hi),
+            lambda: vz.membership_mask(diff_l, diff_r),
+            lambda: naive.membership_mask(diff_l, diff_r),
+            lambda out: len(out)),
+        "intersection": (
+            lambda: ops.intersection(lo, hi),
+            # membership plus the first-occurrence dedup stage that
+            # distinguishes intersection from difference
+            lambda: vz.first_occurrence(
+                diff_l[vz.membership_mask(diff_l, diff_r)]),
+            lambda: naive.first_occurrence(
+                diff_l[naive.membership_mask(diff_l, diff_r)]),
+            lambda out: len(out)),
+        "mergejoin": (
+            lambda: ops.join(sel, operands["item_price_sorted"]),
+            None, None, lambda out: len(out)),
+        "select_scan": (
+            lambda: ops.select_range(price, 1000.0, 50000.0),
+            None, None, lambda out: len(out)),
+    }
+    return cases
+
+
+def _kernel_equal(a, b):
+    if isinstance(a, tuple):
+        return all(_kernel_equal(x, y) for x, y in zip(a, b))
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype.kind == "f" or b.dtype.kind == "f":
+        # summation order differs between reduceat and the Python
+        # accumulation loop; equality up to float rounding is the spec
+        return a.shape == b.shape and bool(
+            np.allclose(a, b, rtol=1e-9, atol=0.0))
+    return np.array_equal(a, b)
+
+
+def run(sf, reps, quick, out_path):
+    dataset = generate(scale=sf, seed=42)
+    db, _report = load_tpcd(dataset)
+    operands = _operand_bats(dataset)
+    # mergejoin inner: head-ordered + key [oid, extendedprice]
+    operands["item_price_sorted"] = operands["item_price"]
+
+    results = {
+        "meta": {
+            "sf": sf,
+            "reps": reps,
+            "quick": quick,
+            "rows_item": int(dataset.counts["item"]),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "operators": {},
+        "queries": {},
+    }
+
+    for name, (op_fn, kernel_fn, ref_fn, rows_of) in sorted(
+            _operator_cases(operands).items()):
+        entry = {
+            "median_ms": round(_median_ms(op_fn, reps), 4),
+            "rows": int(rows_of(op_fn())),
+            "faults": int(_faults(op_fn)),
+        }
+        if kernel_fn is not None:
+            assert _kernel_equal(kernel_fn(), ref_fn()), \
+                "kernel/reference mismatch for %s" % name
+            entry["kernel_ms"] = round(_median_ms(kernel_fn, reps), 4)
+            entry["reference_ms"] = round(_median_ms(ref_fn, reps), 4)
+            entry["speedup"] = round(
+                entry["reference_ms"] / max(entry["kernel_ms"], 1e-9), 2)
+        results["operators"][name] = entry
+
+    for number in sorted(QUERIES):
+        query = QUERIES[number]
+        rows = query.run(db)
+        if rows is None:
+            shape = 0
+        elif isinstance(rows, (int, float)):
+            shape = 1
+        else:
+            shape = len(rows)
+        results["queries"][str(number)] = {
+            "median_ms": round(
+                _median_ms(lambda q=query: q.run(db), reps), 4),
+            "faults": int(measure_query_faults(db, query)),
+            "rows": int(shape),
+        }
+
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="operator + Figure 9 benchmark regression harness")
+    parser.add_argument("--sf", type=float, default=None,
+                        help="TPC-D scale factor (default %s)"
+                             % DEFAULT_SF)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per measurement (median)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: tiny SF, 2 reps")
+    parser.add_argument("--out", default=None,
+                        help="output path (default "
+                             "<repo>/BENCH_operators.json)")
+    args = parser.parse_args(argv)
+
+    sf = args.sf if args.sf is not None else \
+        (QUICK_SF if args.quick else DEFAULT_SF)
+    reps = args.reps if args.reps is not None else \
+        (2 if args.quick else 5)
+    if reps < 1:
+        parser.error("--reps must be at least 1")
+    out_path = args.out
+    if out_path is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        out_path = os.path.join(repo_root, "BENCH_operators.json")
+    out_dir = os.path.dirname(os.path.abspath(out_path))
+    if not os.path.isdir(out_dir):
+        parser.error("output directory does not exist: %s" % out_dir)
+
+    results = run(sf, reps, args.quick, out_path)
+    ops_table = results["operators"]
+    print("BENCH sf=%s reps=%d -> %s" % (sf, reps, out_path))
+    for name, entry in sorted(ops_table.items()):
+        extra = ""
+        if "speedup" in entry:
+            extra = "  kernel %.3fms vs naive %.3fms (%.1fx)" % (
+                entry["kernel_ms"], entry["reference_ms"],
+                entry["speedup"])
+        print("  %-12s %8.3f ms  rows=%-7d faults=%-6d%s"
+              % (name, entry["median_ms"], entry["rows"],
+                 entry["faults"], extra))
+    slowest = max(results["queries"].items(),
+                  key=lambda kv: kv[1]["median_ms"])
+    print("  %d queries; slowest Q%s at %.1f ms"
+          % (len(results["queries"]), slowest[0],
+             slowest[1]["median_ms"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

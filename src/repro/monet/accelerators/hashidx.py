@@ -4,11 +4,21 @@ The index maps equality keys of the head column to the BUN positions
 holding them.  It is built lazily by the join/semijoin operators and
 cached on the BAT (``bat.accel["hash"]``), mirroring Monet's persistent
 hash heaps.
+
+Since the vectorisation pass the index is *array-backed* for
+fixed-width atoms: it stores a stable sort permutation of the keys
+plus the sorted key array (see
+:class:`~repro.monet.vectorized.MultiMap`), so both scalar probes and
+whole-column vector probes run as binary searches over contiguous
+arrays.  Only object-dtype keys (exotic; var atoms compare on heap
+indices) keep a Python dict.  The simulated heap cost is unchanged:
+~8 bytes per entry, like the bucket+chain layout it models.
 """
 
 import numpy as np
 
 from ..heap import Heap
+from ..vectorized import MultiMap
 
 
 class _HashHeap(Heap):
@@ -26,21 +36,24 @@ class _HashHeap(Heap):
 class HashIndex:
     """positions-by-key mapping over one column of a BAT."""
 
-    __slots__ = ("table", "heap", "n_entries")
+    __slots__ = ("map", "heap", "n_entries")
 
-    def __init__(self, table, n_entries, label=""):
-        self.table = table
-        self.n_entries = n_entries
+    def __init__(self, multimap, label=""):
+        self.map = multimap
+        self.n_entries = len(multimap)
         # model the hash heap as ~8 bytes per entry (bucket + chain)
-        self.heap = _HashHeap(8 * n_entries, label)
+        self.heap = _HashHeap(8 * self.n_entries, label)
 
     def positions(self, key):
-        """BUN positions whose key equals ``key`` (list, build order)."""
-        return self.table.get(key, ())
+        """BUN positions whose key equals ``key`` (ascending order)."""
+        return self.map.positions(key)
 
     def first(self, key):
-        hits = self.table.get(key)
-        return hits[0] if hits else None
+        return self.map.first(key)
+
+    def match(self, probe_keys):
+        """Vector probe: all matches, probe-major (see MultiMap.match)."""
+        return self.map.match(probe_keys)
 
     def __len__(self):
         return self.n_entries
@@ -48,15 +61,7 @@ class HashIndex:
 
 def hash_index(column, label=""):
     """Build a :class:`HashIndex` over a column's equality keys."""
-    keys = column.keys()
-    table = {}
-    if keys.dtype == object:
-        for pos, key in enumerate(keys):
-            table.setdefault(key, []).append(pos)
-    else:
-        for pos, key in enumerate(keys.tolist()):
-            table.setdefault(key, []).append(pos)
-    return HashIndex(table, len(keys), label)
+    return HashIndex(MultiMap(column.keys()), label)
 
 
 def hash_of(bat, side="head"):
@@ -72,14 +77,4 @@ def hash_of(bat, side="head"):
 
 def positions_array(index, keys):
     """Vector probe: first-match position per key, -1 when absent."""
-    out = np.full(len(keys), -1, dtype=np.int64)
-    table = index.table
-    if keys.dtype == object:
-        iterator = enumerate(keys)
-    else:
-        iterator = enumerate(keys.tolist())
-    for i, key in iterator:
-        hits = table.get(key)
-        if hits:
-            out[i] = hits[0]
-    return out
+    return index.map.lookup_first(np.asarray(keys))

@@ -277,11 +277,11 @@ def equality_keys(left, right):
         return left.keys(), right.keys()
     if left.heap is right.heap:
         return left.indices, right.indices
-    translate = np.full(max(len(right.heap), 1), -1, dtype=np.int64)
-    for idx, value in enumerate(right.heap.values):
-        hit = left.heap.find(value)
-        if hit is not None:
-            translate[idx] = hit
+    # one dict probe per *distinct* right value (not per BUN); the
+    # dense translate array then remaps the whole index column at once
+    lookup = left.heap.lookup
+    translate = np.fromiter((lookup.get(v, -1) for v in right.heap.values),
+                            dtype=np.int64, count=len(right.heap))
     if len(right.indices):
         remapped = translate[right.indices]
     else:

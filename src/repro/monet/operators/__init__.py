@@ -11,6 +11,50 @@ This package is the public operator surface of the kernel substrate::
 Every operator materialises its result and never mutates operands
 (section 4.2); property propagation and run-time implementation choice
 happen inside each operator (sections 5.1-5.2).
+
+Operator implementation notes
+-----------------------------
+
+Run-time dispatch (the paper's "multiple implementations for each
+algebraic operation", section 5.1) picks the physical algorithm from
+operand properties and accelerators; all hot paths then execute as
+array kernels from :mod:`repro.monet.vectorized` — no per-BUN Python
+loops.  The dispatch table:
+
+===========  =================  ===========================================
+operator     implementation     chosen when / runs as
+===========  =================  ===========================================
+select       binsearch          tail ``ordered``: two ``searchsorted``
+                                probes + contiguous slice
+select       scan               fallback: one vectorised mask pass
+join         fetchjoin          inner head void: positional arithmetic
+join         mergejoin          inner head ordered+key, fixed atoms:
+                                ``searchsorted`` per outer BUN
+join         hashjoin           fallback: MultiMap (argsort +
+                                ``searchsorted`` group expand); reuses the
+                                BAT's array-backed hash accelerator when
+                                present
+semijoin     syncsemijoin       operands synced: copy
+semijoin     datavectorsemijoin left carries a datavector: cached LOOKUP
+semijoin     mergesemijoin      both heads ordered: binary-search mask
+semijoin     hashsemijoin       fallback: ``np.isin`` membership kernel
+group        unary/binary       factorised int codes (``np.unique``),
+                                pair codes combined in int64
+unique/      code path          joint int64 BUN pair codes +
+set ops                         ``np.unique``/``np.isin``; first-occurrence
+                                order preserved
+aggregate    grouped            ``np.bincount`` (count/avg/float sum),
+                                argsort + ``np.add.reduceat`` (int sum,
+                                exact), order-rank extremes (min/max incl.
+                                strings)
+===========  =================  ===========================================
+
+Hash indexes (``bat.accel["hash"]``) are *array-backed* for
+fixed-width atoms — a stable sort permutation plus sorted key array —
+and keep a Python dict only for object-dtype keys.  The naive
+BUN-at-a-time algorithms survive in :mod:`.naive` as the executable
+specification the differential tests and the benchmark harness compare
+against.
 """
 
 from .aggregate import (AGGREGATES, aggregate_all, fill_zero,

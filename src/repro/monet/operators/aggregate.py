@@ -18,8 +18,9 @@ import numpy as np
 from ...errors import OperatorError
 from .. import atoms as _atoms
 from ..buffer import get_manager
-from ..column import FixedColumn, VarColumn
+from ..column import FixedColumn, equality_keys
 from ..properties import Props
+from ..vectorized import grouped_sum, membership_mask
 from .common import result_bat
 
 AGGREGATES = ("sum", "count", "avg", "min", "max")
@@ -62,12 +63,27 @@ def _grouped(func, tail_col, inverse, n_groups):
     if func == "count":
         counts = np.bincount(inverse, minlength=n_groups)
         return FixedColumn(_atoms.LONG, counts.astype(np.int64))
-    if func in ("sum", "avg"):
+    if func == "sum":
+        atom = _sum_atom(tail_col.atom)
+        if atom.dtype.kind in "iu":
+            values = np.asarray(tail_col.logical(), dtype=np.int64)
+            # bincount accumulates in float64: exact only while every
+            # partial sum stays below 2**53.  Otherwise fall back to
+            # the all-integer argsort + reduceat kernel.
+            bound = int(np.abs(values).max()) * len(values) if \
+                len(values) else 0
+            if bound >= 2 ** 53:
+                return FixedColumn(atom, grouped_sum(values, inverse,
+                                                     n_groups))
+            sums = np.bincount(inverse, weights=values,
+                               minlength=n_groups)
+            return FixedColumn(atom, sums.astype(atom.dtype))
         values = np.asarray(tail_col.logical(), dtype=np.float64)
         sums = np.bincount(inverse, weights=values, minlength=n_groups)
-        if func == "sum":
-            atom = _sum_atom(tail_col.atom)
-            return FixedColumn(atom, sums.astype(atom.dtype))
+        return FixedColumn(atom, sums.astype(atom.dtype))
+    if func == "avg":
+        values = np.asarray(tail_col.logical(), dtype=np.float64)
+        sums = np.bincount(inverse, weights=values, minlength=n_groups)
         counts = np.bincount(inverse, minlength=n_groups)
         return FixedColumn(_atoms.DOUBLE, sums / np.maximum(counts, 1))
     # min / max via order ranks so strings work too
@@ -97,10 +113,9 @@ def fill_zero(agg, carrier, name=None):
     with manager.operator("fillzero"):
         manager.access_column(agg.head)
         manager.access_column(carrier.head)
-        present = set(np.asarray(agg.head.logical()).tolist())
-        missing = [h for h in
-                   np.asarray(carrier.head.logical()).tolist()
-                   if h not in present]
+        carrier_keys, agg_keys = equality_keys(carrier.head, agg.head)
+        absent = np.nonzero(~membership_mask(carrier_keys, agg_keys))[0]
+        missing = [carrier.head.value(int(pos)) for pos in absent]
     if not missing:
         out = agg.take(np.arange(len(agg), dtype=np.int64), name=name)
         out.props = agg.props.copy()

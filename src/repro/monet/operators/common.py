@@ -5,6 +5,8 @@ import numpy as np
 from ...errors import OperatorError
 from ..bat import BAT
 from ..properties import Props
+from ..vectorized import MultiMap
+from ..vectorized import factorize as _factorize
 
 
 def subsequence_props(ab):
@@ -33,23 +35,17 @@ def take_subsequence(ab, positions, name=None):
 
 def factorize(keys):
     """(codes, n_distinct): dense int codes per distinct key, sorted order."""
-    keys = np.asarray(keys)
-    if len(keys) == 0:
-        return np.empty(0, dtype=np.int64), 0
-    uniq, inverse = np.unique(keys, return_inverse=True)
-    return inverse.astype(np.int64), len(uniq)
+    return _factorize(keys)
 
 
 def build_multimap(keys):
-    """dict key -> list of positions, over an equality-key array."""
-    table = {}
-    if keys.dtype == object:
-        items = enumerate(keys)
-    else:
-        items = enumerate(keys.tolist())
-    for pos, key in items:
-        table.setdefault(key, []).append(pos)
-    return table
+    """Positions-by-key :class:`~repro.monet.vectorized.MultiMap`.
+
+    Array-backed (argsort + searchsorted) for fixed-width keys, dict
+    backed for object keys; shared by join, pairjoin and the hash
+    accelerator so the per-BUN dict build exists in exactly one place.
+    """
+    return MultiMap(keys)
 
 
 def require_nonempty_signature(ab, cd, op):

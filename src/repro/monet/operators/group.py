@@ -25,6 +25,7 @@ from ..buffer import get_manager
 from ..column import FixedColumn
 from ..optimizer import get_optimizer
 from ..properties import Props, synced
+from ..vectorized import combine_codes
 from .common import factorize, result_bat
 from .join import join_positions
 
@@ -80,7 +81,7 @@ def group2(grp, cd, name=None):
         manager.access_column(grp.tail)
         manager.access_column(cd.tail)
         right_codes, n_right = factorize(right_keys)
-        combined = left_codes * max(1, n_right) + right_codes
+        combined = combine_codes(left_codes, right_codes, n_right)
         codes, n_groups = factorize(combined)
         manager.access_column(grp.head)
     tail = FixedColumn(_atoms.OID, codes)

@@ -27,6 +27,7 @@ from ..buffer import get_manager
 from ..column import column_from_values, equality_keys
 from ..optimizer import get_optimizer
 from ..properties import Props
+from ..vectorized import combine_codes, joint_codes
 from .common import build_multimap, require_nonempty_signature, result_bat
 
 
@@ -45,27 +46,17 @@ def join(ab, cd, name=None):
     return _hashjoin(ab, cd, name)
 
 
-def join_positions(ab, cd):
+def join_positions(ab, cd, index=None):
     """(left_positions, right_positions) of every matching BUN pair.
 
     Left-major order; shared by :func:`join` and by the MOA rewriter's
-    pair construction for explicit joins.
+    pair construction for explicit joins.  When a prebuilt hash
+    accelerator on ``cd``'s head is passed as ``index`` its sort
+    permutation is reused instead of building a fresh multimap.
     """
     left_keys, right_keys = equality_keys(ab.tail, cd.head)
-    table = build_multimap(right_keys)
-    lefts = []
-    rights = []
-    if left_keys.dtype == object:
-        items = enumerate(left_keys)
-    else:
-        items = enumerate(left_keys.tolist())
-    for pos, key in items:
-        hits = table.get(key)
-        if hits:
-            lefts.extend([pos] * len(hits))
-            rights.extend(hits)
-    return (np.asarray(lefts, dtype=np.int64),
-            np.asarray(rights, dtype=np.int64))
+    multimap = index if index is not None else build_multimap(right_keys)
+    return multimap.match(left_keys)
 
 
 def pairjoin(operands, name=None):
@@ -84,55 +75,76 @@ def pairjoin(operands, name=None):
     lefts, rights = operands[:half], operands[half:]
     manager = get_manager()
     with manager.operator("pairjoin"):
-        left_ids, left_keys = _tuple_keys(lefts, manager)
-        right_ids, right_keys = _tuple_keys(rights, manager)
-        table = {}
-        for rid, rkey in zip(right_ids, right_keys):
-            table.setdefault(rkey, []).append(rid)
-        out_left = []
-        out_right = []
-        for lid, lkey in zip(left_ids, left_keys):
-            hits = table.get(lkey)
-            if hits:
-                out_left.extend([lid] * len(hits))
-                out_right.extend(hits)
+        left_ids, left_gather = _side_alignment(lefts, manager)
+        right_ids, right_gather = _side_alignment(rights, manager)
+        left_codes, right_codes = _composite_codes(
+            lefts, left_gather, rights, right_gather)
+        left_pos, right_pos = build_multimap(right_codes).match(left_codes)
+        out_left = left_ids[left_pos]
+        out_right = right_ids[right_pos]
     head = column_from_values("oid", out_left)
     tail = column_from_values("oid", out_right)
     props = Props(hordered=True)
     return result_bat(head, tail, name=name, props=props)
 
 
-def _tuple_keys(key_bats, manager):
-    """(element ids, tuple keys) from aligned [elem, key] columns."""
+def _side_alignment(key_bats, manager):
+    """(element ids, per-bat gather positions) for one operand side.
+
+    ``gather[i]`` maps each element of the side's first BAT to its BUN
+    position in ``key_bats[i]`` (``-1`` when the head is absent there,
+    the analogue of a failed dict lookup in the old tuple build).
+    """
     first = key_bats[0]
     manager.access_column(first.head)
-    ids = [int(v) for v in first.head.logical()]
-    columns = []
-    for bat in key_bats:
-        manager.access_column(bat.tail)
-        if bat is first:
-            columns.append(list(bat.tail.logical()))
+    ids = np.asarray(first.head.logical(), dtype=np.int64)
+    gathers = [np.arange(len(first), dtype=np.int64)]
+    for bat in key_bats[1:]:
+        if not bat.props.hkey:
+            raise OperatorError("pairjoin key columns must be "
+                                "head-unique")
+        first_keys, bat_keys = equality_keys(first.head, bat.head)
+        gathers.append(build_multimap(bat_keys).lookup_first(first_keys))
+    return ids, gathers
+
+
+def _composite_codes(lefts, left_gather, rights, right_gather):
+    """Dense int64 composite-key code per element, both sides jointly.
+
+    Key columns are factorised slot by slot through a coding shared by
+    the two sides (equal values — across heaps too — get equal codes);
+    a missing head gets the per-slot sentinel code, matching the old
+    ``None`` tuple component.  Slot codes are combined and re-densified
+    pairwise, so the composite stays within int64 regardless of arity.
+    """
+    manager = get_manager()
+    total_left = total_right = None
+    for slot, (lbat, rbat) in enumerate(zip(lefts, rights)):
+        manager.access_column(lbat.tail)
+        manager.access_column(rbat.tail)
+        lraw, rraw = equality_keys(lbat.tail, rbat.tail)
+        lkeys, lmissing = _gather_keys(lraw, left_gather[slot])
+        rkeys, rmissing = _gather_keys(rraw, right_gather[slot])
+        lcodes, rcodes, n = joint_codes(lkeys, rkeys)
+        lcodes[lmissing] = n
+        rcodes[rmissing] = n
+        if total_left is None:
+            total_left, total_right = lcodes, rcodes
         else:
-            if not bat.props.hkey:
-                raise OperatorError("pairjoin key columns must be "
-                                    "head-unique")
-            lookup = dict(zip((int(v) for v in bat.head.logical()),
-                              bat.tail.logical()))
-            columns.append([lookup.get(i) for i in ids])
-    keys = [tuple(_plain(col[i]) for col in columns)
-            for i in range(len(ids))]
-    return ids, keys
+            total_left = combine_codes(total_left, lcodes, n + 1)
+            total_right = combine_codes(total_right, rcodes, n + 1)
+            total_left, total_right, _n = joint_codes(
+                total_left, total_right)
+    return total_left, total_right
 
 
-def _plain(value):
-    import numpy as _np
-    if isinstance(value, _np.integer):
-        return int(value)
-    if isinstance(value, _np.floating):
-        return float(value)
-    if isinstance(value, _np.bool_):
-        return bool(value)
-    return value
+def _gather_keys(raw, positions):
+    """(keys aligned to positions, missing mask) with -1 = missing."""
+    missing = positions < 0
+    if len(raw) == 0:
+        return np.zeros(len(positions), dtype=np.int64), \
+            np.ones(len(positions), dtype=bool)
+    return raw[np.where(missing, 0, positions)], missing
 
 
 def _finish(ab, cd, left_pos, right_pos, name):
@@ -190,12 +202,13 @@ def _hashjoin(ab, cd, name):
     with manager.operator("join.hashjoin"):
         manager.access_column(ab.tail)
         manager.access_column(cd.head)
+        index = None
         if cd.head.atom.varsized == ab.tail.atom.varsized \
                 and not ab.tail.atom.varsized \
                 and "hash" in cd.accel:
             index = hash_of(cd, "head")
             manager.access_heap(index.heap)
-        left_pos, right_pos = join_positions(ab, cd)
+        left_pos, right_pos = join_positions(ab, cd, index=index)
         manager.access_column(ab.head, left_pos)
         manager.access_column(cd.tail, right_pos)
     return _finish(ab, cd, left_pos, right_pos, name)

@@ -1,0 +1,107 @@
+"""Naive BUN-at-a-time reference kernels.
+
+These are the pre-vectorisation algorithms — Python dicts, sets and
+per-BUN ``for`` loops — kept as an executable specification.  Two
+consumers:
+
+* the differential/property tests, which assert the vectorised kernels
+  in :mod:`repro.monet.vectorized` are BUN-for-BUN identical to these
+  references for every atom mix;
+* ``benchmarks/run_bench.py``, which times them against the vectorised
+  operators so ``BENCH_operators.json`` records the measured speedup
+  instead of a claim.
+
+They are deliberately *not* wired into the operator dispatch: the
+operators import :mod:`repro.monet.vectorized` only.
+"""
+
+import numpy as np
+
+
+def _items(keys):
+    if getattr(keys, "dtype", None) == object:
+        return enumerate(keys)
+    return enumerate(keys.tolist())
+
+
+def build_multimap(keys):
+    """dict key -> list of positions, over an equality-key array."""
+    table = {}
+    for pos, key in _items(np.asarray(keys)):
+        table.setdefault(key, []).append(pos)
+    return table
+
+
+def join_match(left_keys, right_keys):
+    """(left_pos, right_pos) per matching pair; left-major, rights in
+    build (ascending position) order."""
+    table = build_multimap(right_keys)
+    lefts = []
+    rights = []
+    for pos, key in _items(np.asarray(left_keys)):
+        hits = table.get(key)
+        if hits:
+            lefts.extend([pos] * len(hits))
+            rights.extend(hits)
+    return (np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64))
+
+
+def membership_mask(left_keys, right_keys):
+    """Per-BUN set probe membership test."""
+    left_keys = np.asarray(left_keys)
+    members = set(np.asarray(right_keys).tolist()
+                  if getattr(right_keys, "dtype", None) != object
+                  else right_keys)
+    return np.fromiter((k in members for k in _values(left_keys)),
+                       dtype=bool, count=len(left_keys))
+
+
+def _values(keys):
+    return keys if keys.dtype == object else keys.tolist()
+
+
+def first_occurrence(codes):
+    """First-occurrence positions of each code, in BUN order."""
+    seen = set()
+    positions = []
+    for pos, code in _items(np.asarray(codes)):
+        if code not in seen:
+            seen.add(code)
+            positions.append(pos)
+    return np.asarray(positions, dtype=np.int64)
+
+
+def grouped_sum(values, codes, n_groups):
+    """Per-group sum with a Python accumulation loop."""
+    values = np.asarray(values)
+    sums = [0] * int(n_groups)
+    for value, code in zip(values.tolist(),
+                           np.asarray(codes).tolist()):
+        sums[code] += value
+    return np.asarray(sums, dtype=values.dtype)
+
+
+def factorize(keys):
+    """(codes, n_distinct) with one dict probe per BUN (first-seen
+    order, which preserves equality — the only property the set-op and
+    group kernels rely on)."""
+    table = {}
+    codes = np.empty(len(keys), dtype=np.int64)
+    for pos, key in _items(np.asarray(keys)):
+        code = table.get(key)
+        if code is None:
+            code = table[key] = len(table)
+        codes[pos] = code
+    return codes, len(table)
+
+
+def lookup_first(right_keys, probe_keys):
+    """First-match position per probe key, -1 when absent."""
+    table = build_multimap(right_keys)
+    out = np.full(len(probe_keys), -1, dtype=np.int64)
+    for pos, key in _items(np.asarray(probe_keys)):
+        hits = table.get(key)
+        if hits:
+            out[pos] = hits[0]
+    return out

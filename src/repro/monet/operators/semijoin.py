@@ -30,6 +30,7 @@ from ..buffer import get_manager
 from ..column import equality_keys
 from ..optimizer import get_optimizer
 from ..properties import Props, synced
+from ..vectorized import membership_mask
 from .common import result_bat, take_subsequence
 
 
@@ -62,14 +63,12 @@ def antijoin(ab, cd, name=None):
 
 
 def _membership_mask(ab, cd, manager):
+    # fixed-width atoms go through the sort-based np.isin kernel; the
+    # per-BUN Python set probe survives only for object-dtype keys
     left_keys, right_keys = equality_keys(ab.head, cd.head)
     manager.access_column(ab.head)
     manager.access_column(cd.head)
-    if left_keys.dtype == object or right_keys.dtype == object:
-        members = set(right_keys)
-        return np.fromiter((k in members for k in left_keys),
-                           dtype=bool, count=len(left_keys))
-    return np.isin(left_keys, right_keys)
+    return membership_mask(left_keys, right_keys)
 
 
 def _syncsemijoin(ab, name):

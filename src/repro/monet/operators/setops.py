@@ -9,6 +9,18 @@ sets, where element identity is the id.
 
 First-occurrence order is preserved, so ordered/key properties of the
 left operand survive.
+
+BUNs are compared through dense int64 *pair codes* (head and tail
+equality keys factorised jointly across both operands, then combined
+into one code per BUN — see :mod:`repro.monet.vectorized`), so the
+membership and dedup scans run as ``np.isin``/``np.unique`` over
+contiguous arrays instead of per-BUN Python set probes.  Object-dtype
+keys (never produced by the column layouts, which compare var atoms on
+heap indices) fall back to the tuple-and-set path.
+
+NaN tails compare *equal to each other* here (``np.unique`` identity
+semantics, matching SQL ``DISTINCT``) — unlike the join/semijoin
+kernels, where NaN keys follow IEEE semantics and never match.
 """
 
 import numpy as np
@@ -16,18 +28,43 @@ import numpy as np
 from ..buffer import get_manager
 from ..column import equality_keys
 from ..optimizer import get_optimizer
+from ..vectorized import (combine_codes, factorize, first_occurrence,
+                          joint_codes, membership_mask)
 from .common import take_subsequence
 from .semijoin import antijoin, semijoin
 from ..bat import concat_bats
 
 
-def _pair_keys(ab, cd=None):
-    """Comparable (pair-key arrays) for one or two BATs.
+def _bun_codes(ab, cd=None):
+    """Per-BUN int64 pair codes for one or two BATs.
 
-    Keys are Python tuples (exact, hashable); vectorising this with
-    factorised int64 pairs is possible but tuples keep the code simple
-    and correct for every atom mix.
+    Returns ``(left_codes, right_codes, domain)`` (``right_codes`` is
+    ``None`` without a second operand); equal codes mean equal (head,
+    tail) BUN pairs, within and across the operands, and every code is
+    below ``domain``.  Falls back to :func:`_pair_keys` tuples (``None``
+    result) for object-dtype keys.
     """
+    hk_a, hk_c = (equality_keys(ab.head, cd.head) if cd is not None
+                  else (ab.head.keys(), None))
+    tk_a, tk_c = (equality_keys(ab.tail, cd.tail) if cd is not None
+                  else (ab.tail.keys(), None))
+    if any(k is not None and np.asarray(k).dtype == object
+           for k in (hk_a, hk_c, tk_a, tk_c)):
+        return None
+    if cd is None:
+        h_codes, n_h = factorize(hk_a)
+        t_codes, n_t = factorize(tk_a)
+        return (combine_codes(h_codes, t_codes, n_t), None,
+                max(1, n_h) * max(1, n_t))
+    h_left, h_right, n_h = joint_codes(hk_a, hk_c)
+    t_left, t_right, n_t = joint_codes(tk_a, tk_c)
+    return (combine_codes(h_left, t_left, n_t),
+            combine_codes(h_right, t_right, n_t),
+            max(1, n_h) * max(1, n_t))
+
+
+def _pair_keys(ab, cd=None):
+    """Tuple pair-keys fallback for object-dtype equality keys."""
     hk_a, hk_c = (equality_keys(ab.head, cd.head) if cd is not None
                   else (ab.head.keys(), None))
     tk_a, tk_c = (equality_keys(ab.tail, cd.tail) if cd is not None
@@ -55,15 +92,19 @@ def unique(ab, name=None):
     optimizer.record("unique", "hash")
     with manager.operator("unique"):
         manager.access_bat(ab)
-        pairs, _unused = _pair_keys(ab)
-        seen = set()
-        positions = []
-        for pos, pair in enumerate(pairs):
-            if pair not in seen:
-                seen.add(pair)
-                positions.append(pos)
-    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
-                            name=name)
+        codes = _bun_codes(ab)
+        if codes is not None:
+            positions = first_occurrence(codes[0])
+        else:
+            pairs, _unused = _pair_keys(ab)
+            seen = set()
+            positions = []
+            for pos, pair in enumerate(pairs):
+                if pair not in seen:
+                    seen.add(pair)
+                    positions.append(pos)
+            positions = np.asarray(positions, dtype=np.int64)
+    return take_subsequence(ab, positions, name=name)
 
 
 def union(ab, cd, name=None):
@@ -82,12 +123,18 @@ def difference(ab, cd, name=None):
     with manager.operator("difference"):
         manager.access_bat(ab)
         manager.access_bat(cd)
-        left, right = _pair_keys(ab, cd)
-        members = set(right)
-        positions = [pos for pos, pair in enumerate(left)
-                     if pair not in members]
-    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
-                            name=name)
+        codes = _bun_codes(ab, cd)
+        if codes is not None:
+            left_codes, right_codes, domain = codes
+            positions = np.nonzero(~membership_mask(
+                left_codes, right_codes, domain=domain))[0]
+        else:
+            left, right = _pair_keys(ab, cd)
+            members = set(right)
+            positions = np.asarray(
+                [pos for pos, pair in enumerate(left)
+                 if pair not in members], dtype=np.int64)
+    return take_subsequence(ab, positions, name=name)
 
 
 def intersection(ab, cd, name=None):
@@ -96,16 +143,23 @@ def intersection(ab, cd, name=None):
     with manager.operator("intersection"):
         manager.access_bat(ab)
         manager.access_bat(cd)
-        left, right = _pair_keys(ab, cd)
-        members = set(right)
-        seen = set()
-        positions = []
-        for pos, pair in enumerate(left):
-            if pair in members and pair not in seen:
-                seen.add(pair)
-                positions.append(pos)
-    return take_subsequence(ab, np.asarray(positions, dtype=np.int64),
-                            name=name)
+        codes = _bun_codes(ab, cd)
+        if codes is not None:
+            left_codes, right_codes, domain = codes
+            shared = np.nonzero(membership_mask(
+                left_codes, right_codes, domain=domain))[0]
+            positions = shared[first_occurrence(left_codes[shared])]
+        else:
+            left, right = _pair_keys(ab, cd)
+            members = set(right)
+            seen = set()
+            positions = []
+            for pos, pair in enumerate(left):
+                if pair in members and pair not in seen:
+                    seen.add(pair)
+                    positions.append(pos)
+            positions = np.asarray(positions, dtype=np.int64)
+    return take_subsequence(ab, positions, name=name)
 
 
 def kdiff(ab, cd, name=None):

@@ -1,0 +1,361 @@
+"""Differential tests: vectorised kernels == naive BUN-at-a-time loops.
+
+The vectorised primitives in :mod:`repro.monet.vectorized` replaced
+Python dict/set/loop implementations that now live on as executable
+references in :mod:`repro.monet.operators.naive`.  Hypothesis drives
+both over the same inputs and asserts BUN-for-BUN identical output —
+including match order, first-occurrence order, empty operands,
+all-duplicate keys, huge key spreads (which disable the direct-address
+table) and object-dtype keys (which exercise the dict fallback).
+
+A second block runs whole *operators* differentially across atom types
+(int, dbl, str/var-sized, oid/void heads), since the kernels only pay
+off if the operator wiring preserved the algebra's semantics.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.monet import (bat_dense_head, bat_from_pairs, compute_props,
+                         verify)
+from repro.monet import operators as ops
+from repro.monet import vectorized as vz
+from repro.monet.column import column_from_values
+from repro.monet.operators import naive
+
+_ints = st.lists(st.integers(-50, 50), max_size=40)
+_wide_ints = st.lists(
+    st.integers(-2 ** 62, 2 ** 62) | st.integers(-50, 50), max_size=25)
+_floats = st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                             width=32), max_size=30)
+_strs = st.lists(st.sampled_from(["a", "b", "abc", "", "zz", "q"]),
+                 max_size=25)
+
+
+def _int_arr(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+def _obj_arr(values):
+    return np.asarray(values, dtype=object)
+
+
+def _assert_same(pair_a, pair_b):
+    for got, want in zip(pair_a, pair_b):
+        assert np.array_equal(np.asarray(got), np.asarray(want))
+
+
+# ----------------------------------------------------------------------
+# kernel-level differentials
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(_ints, _ints)
+def test_join_match_matches_naive(left, right):
+    _assert_same(vz.join_match(_int_arr(left), _int_arr(right)),
+                 naive.join_match(_int_arr(left), _int_arr(right)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_wide_ints, _wide_ints)
+def test_join_match_wide_spread(left, right):
+    # huge key spreads must not build (or mis-index) the dense table
+    _assert_same(vz.join_match(_int_arr(left), _int_arr(right)),
+                 naive.join_match(_int_arr(left), _int_arr(right)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_floats, _floats)
+def test_join_match_floats(left, right):
+    la = np.asarray(left, dtype=np.float64)
+    ra = np.asarray(right, dtype=np.float64)
+    _assert_same(vz.join_match(la, ra), naive.join_match(la, ra))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_strs, _strs)
+def test_join_match_object_fallback(left, right):
+    la, ra = _obj_arr(left), _obj_arr(right)
+    mm = vz.MultiMap(ra)
+    assert not mm.vectorised or len(right) == 0
+    _assert_same(mm.match(la), naive.join_match(la, ra))
+
+
+def test_join_match_nan_never_matches():
+    # IEEE semantics (and the dict reference): NaN != NaN
+    nan = float("nan")
+    la = np.asarray([1.0, nan, 2.0], dtype=np.float64)
+    ra = np.asarray([nan, 2.0, nan], dtype=np.float64)
+    _assert_same(vz.join_match(la, ra), naive.join_match(la, ra))
+    lp, rp = vz.join_match(la, ra)
+    assert list(lp) == [2] and list(rp) == [1]
+    mm = vz.MultiMap(ra)
+    assert mm.positions(nan) == ()
+    assert np.array_equal(mm.lookup_first(la),
+                          naive.lookup_first(ra, la))
+
+
+def test_lookup_first_object_probes_on_array_map():
+    mm = vz.MultiMap(_int_arr([5, 7, 5, 9]))
+    probes = _obj_arr([7, 42])
+    assert list(mm.lookup_first(probes)) == [1, -1]
+
+
+def test_join_match_all_duplicates():
+    left = _int_arr([7] * 10)
+    right = _int_arr([7] * 8)
+    lp, rp = vz.join_match(left, right)
+    assert len(lp) == 80
+    _assert_same((lp, rp), naive.join_match(left, right))
+
+
+def test_join_match_empty_operands():
+    empty = _int_arr([])
+    some = _int_arr([1, 2, 2])
+    for la, ra in [(empty, some), (some, empty), (empty, empty)]:
+        _assert_same(vz.join_match(la, ra), naive.join_match(la, ra))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.one_of(
+    st.tuples(_ints, _ints), st.tuples(_wide_ints, _wide_ints),
+    st.tuples(_strs, _strs)))
+def test_membership_mask_matches_naive(pair):
+    left, right = pair
+    la = (_obj_arr(left) if left and isinstance(left[0], str)
+          else _int_arr(left))
+    ra = (_obj_arr(right) if right and isinstance(right[0], str)
+          else _int_arr(right))
+    if la.dtype != ra.dtype:
+        la = la.astype(object)
+        ra = ra.astype(object)
+    assert np.array_equal(vz.membership_mask(la, ra),
+                          naive.membership_mask(la, ra))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ints, _ints)
+def test_lookup_first_matches_naive(right, probes):
+    ra, pa = _int_arr(right), _int_arr(probes)
+    assert np.array_equal(vz.MultiMap(ra).lookup_first(pa),
+                          naive.lookup_first(ra, pa))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ints)
+def test_first_occurrence_matches_naive(values):
+    arr = _int_arr(values)
+    assert np.array_equal(vz.first_occurrence(arr),
+                          naive.first_occurrence(arr))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ints)
+def test_grouped_sum_matches_naive(values):
+    arr = _int_arr(values)
+    codes, n_groups = vz.factorize(arr % 7 if len(arr) else arr)
+    assert np.array_equal(vz.grouped_sum(arr, codes, n_groups),
+                          naive.grouped_sum(arr, codes, n_groups))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ints)
+def test_factorize_round_trip(values):
+    arr = _int_arr(values)
+    codes, n = vz.factorize(arr)
+    if len(arr):
+        assert codes.min() >= 0 and codes.max() == n - 1
+        # codes are in sorted distinct-key order (group-oid contract)
+        uniq = np.unique(arr)
+        assert np.array_equal(uniq[codes], arr)
+    else:
+        assert n == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ints, _ints)
+def test_joint_codes_preserve_equality(left, right):
+    la, ra = _int_arr(left), _int_arr(right)
+    lc, rc, n = vz.joint_codes(la, ra)
+    both_keys = np.concatenate([la, ra])
+    both_codes = np.concatenate([lc, rc])
+    for i in range(len(both_keys)):
+        same_key = both_keys == both_keys[i]
+        same_code = both_codes == both_codes[i]
+        assert np.array_equal(same_key, same_code)
+    assert len(both_codes) == 0 or both_codes.max() < n
+
+
+def test_multimap_scalar_probes():
+    mm = vz.MultiMap(_int_arr([5, 7, 5, 9]))
+    assert list(mm.positions(5)) == [0, 2]
+    assert mm.first(9) == 3
+    assert mm.positions(42) == ()
+    assert mm.first(42) is None
+
+
+def test_multimap_dense_vs_sorted_agree():
+    keys = _int_arr([3, 1, 4, 1, 5, 9, 2, 6, 5, 3])
+    probes = _int_arr([1, 5, 8, -3, 9])
+    dense = vz.MultiMap(keys)
+    assert dense.starts is not None        # compact domain => dense
+    sparse = vz.MultiMap(keys * (2 ** 40))  # spread out => binary search
+    assert sparse.starts is None
+    _assert_same(dense.match(probes), naive.join_match(probes, keys))
+    _assert_same(sparse.match(probes * (2 ** 40)),
+                 naive.join_match(probes * (2 ** 40), keys * (2 ** 40)))
+
+
+# ----------------------------------------------------------------------
+# operator-level differentials across atom types
+# ----------------------------------------------------------------------
+def _bat(pairs, head="oid", tail="int"):
+    bat = bat_from_pairs(head, tail, pairs)
+    bat.props = compute_props(bat)
+    return bat
+
+
+_heads = st.integers(0, 12)
+_str_tail = st.sampled_from(["a", "b", "abc", "zz"])
+_dbl_tail = st.floats(min_value=-8, max_value=8, width=16)
+_int_tail = st.integers(-9, 9)
+
+
+def _pairs(tail):
+    return st.lists(st.tuples(_heads, tail), max_size=20)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_int_tail), _pairs(_str_tail))
+def test_join_str_tail_spec(left_pairs, right_pairs):
+    # int join column, string payload: var-sized tails must survive
+    ab = _bat([(h, t) for h, t in left_pairs])
+    cd = _bat([(h, s) for (h, _t), (_h2, s) in
+               zip(right_pairs, right_pairs)], tail="string")
+    out = ops.join(ab, cd)
+    expected = sorted((a, d) for a, b in ab.to_pairs()
+                      for c, d in cd.to_pairs() if b == c)
+    assert sorted(out.to_pairs()) == expected
+    verify(out)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_str_tail), _pairs(_str_tail))
+def test_setops_str_tails_spec(left_pairs, right_pairs):
+    ab = bat_from_pairs("oid", "string", left_pairs)
+    cd = bat_from_pairs("oid", "string", right_pairs)
+    diff = ops.difference(ab, cd).to_pairs()
+    assert diff == [p for p in left_pairs
+                    if p not in set(right_pairs)]
+    inter = ops.intersection(ab, cd).to_pairs()
+    seen = set()
+    expected = []
+    for p in left_pairs:
+        if p in set(right_pairs) and p not in seen:
+            seen.add(p)
+            expected.append(p)
+    assert inter == expected
+    uniq = ops.unique(ab).to_pairs()
+    first = []
+    for p in left_pairs:
+        if p not in first:
+            first.append(p)
+    assert uniq == first
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_dbl_tail), _pairs(_dbl_tail))
+def test_setops_double_tails_spec(left_pairs, right_pairs):
+    # float tails must never be routed through integer offset coding
+    ab = bat_from_pairs("oid", "double", left_pairs)
+    cd = bat_from_pairs("oid", "double", right_pairs)
+    diff = ops.difference(ab, cd).to_pairs()
+    assert diff == [p for p in left_pairs if p not in set(right_pairs)]
+    inter = {p for p in ops.intersection(ab, cd).to_pairs()}
+    assert inter == set(left_pairs) & set(right_pairs)
+
+
+def test_joint_codes_float_not_truncated():
+    from repro.monet import vectorized as vz
+    la = np.asarray([2.5, 2.0], dtype=np.float64)
+    ra = np.asarray([2.0], dtype=np.float64)
+    lc, rc, _n = vz.joint_codes(la, ra)
+    assert lc[0] != rc[0] and lc[1] == rc[0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_dbl_tail))
+def test_aggregate_double_spec(pairs):
+    bat = bat_from_pairs("oid", "double", pairs)
+    for func in ("sum", "count", "min", "max"):
+        out = dict(ops.set_aggregate(func, bat).to_pairs())
+        expected = {}
+        for a, b in pairs:
+            bucket = expected.setdefault(a, [])
+            bucket.append(b)
+        for key, bucket in expected.items():
+            want = {"sum": sum(bucket), "count": len(bucket),
+                    "min": min(bucket), "max": max(bucket)}[func]
+            assert out[key] == pytest.approx(want)
+
+
+def test_aggregate_sum_exact_beyond_float():
+    # partial sums past 2**53 must not round through float64
+    big = 2 ** 61
+    bat = bat_from_pairs("oid", "long",
+                         [(1, big), (1, 3), (2, big), (2, -1)])
+    out = dict(ops.set_aggregate("sum", bat).to_pairs())
+    assert out == {1: big + 3, 2: big - 1}
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_int_tail), _pairs(_int_tail))
+def test_semijoin_void_heads(left_pairs, right_pairs):
+    # void (virtual dense) heads take the fixed-width membership kernel
+    ab = bat_dense_head(column_from_values(
+        "int", [t for _h, t in left_pairs]))
+    cd = _bat(right_pairs)
+    out = ops.semijoin(ab, cd)
+    heads = {c for c, _d in cd.to_pairs()}
+    assert out.to_pairs() == [p for p in ab.to_pairs()
+                              if p[0] in heads]
+
+
+@settings(max_examples=50, deadline=None)
+@given(_pairs(_int_tail))
+def test_group_all_duplicates_and_empty(pairs):
+    bat = _bat([(h, 4) for h, _t in pairs])   # all-duplicate tails
+    out = ops.group1(bat)
+    assert len(out) == len(bat)
+    assert len({g for _h, g in out.to_pairs()}) <= 1
+    from repro.monet import empty_bat
+    assert len(ops.group1(empty_bat("oid", "int"))) == 0
+
+
+def test_pairjoin_str_keys_and_missing_heads():
+    l1 = _bat([(1, 10), (2, 20), (3, 10)])
+    l2 = bat_from_pairs("oid", "string", [(1, "x"), (2, "x"), (3, "y")])
+    l2.props = compute_props(l2)
+    r1 = _bat([(7, 10), (8, 10), (9, 20)])
+    # right side misses head 9 in its second key column
+    r2 = bat_from_pairs("oid", "string", [(7, "x"), (8, "y")])
+    r2.props = compute_props(r2)
+    out = ops.pairjoin([l1, l2, r1, r2])
+    # (1,(10,x))->(7,(10,x)); (3,(10,y))->(8,(10,y)); 9 has a missing
+    # key component, which only matches another missing component
+    assert sorted(out.to_pairs()) == [(1, 7), (3, 8)]
+
+
+def test_hashjoin_reuses_accelerator():
+    from repro.monet.accelerators.hashidx import hash_of
+    from repro.monet.optimizer import get_optimizer
+    ab = _bat([(1, 10), (2, 20), (3, 10)])
+    cd = bat_from_pairs("oid", "int", [(20, 5), (10, 4)])
+    cd.props = compute_props(cd)
+    plain = ops.join(ab, cd).to_pairs()
+    index = hash_of(cd, "head")            # prebuild the accelerator
+    assert index.positions(20) is not None
+    accelerated = ops.join(ab, cd).to_pairs()
+    assert get_optimizer().last["join"] == "hashjoin"
+    assert accelerated == plain == [(1, 4), (2, 5), (3, 4)]

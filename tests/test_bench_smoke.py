@@ -1,0 +1,36 @@
+"""Smoke test for the benchmark-regression harness.
+
+Runs ``repro.bench.run`` in ``--quick`` mode against a throwaway
+output path, so the harness (operand construction, kernel/reference
+equivalence checks, JSON schema) is exercised on every tier-1 run and
+cannot silently rot between PRs.
+"""
+
+import json
+
+from repro.bench.run import main
+
+EXPECTED_OPS = {"hashjoin", "semijoin", "group", "aggregate", "unique",
+                "difference", "intersection", "mergejoin",
+                "select_scan"}
+
+
+def test_quick_bench_writes_trajectory(tmp_path):
+    out = tmp_path / "BENCH_operators.json"
+    assert main(["--quick", "--out", str(out)]) == 0
+    results = json.loads(out.read_text())
+
+    assert results["meta"]["quick"] is True
+    assert set(results["operators"]) == EXPECTED_OPS
+    for name, entry in results["operators"].items():
+        assert entry["median_ms"] >= 0
+        assert entry["rows"] >= 0
+        assert entry["faults"] >= 0
+    # the vectorised kernels carry a measured speedup vs the naive
+    # dict/loop reference (checked for output equality by the harness)
+    for name in ("hashjoin", "semijoin", "group", "aggregate"):
+        assert "speedup" in results["operators"][name]
+    assert len(results["queries"]) == 15
+    for entry in results["queries"].values():
+        assert entry["median_ms"] >= 0
+        assert entry["faults"] >= 0
