@@ -5,22 +5,32 @@ pipeline (bulk load, datavectors, tail reorder), runs the paper's
 example query Q13 with a full MIL trace (Figure 10), and then the
 whole 15-query mix with timings and simulated page faults (Figure 9).
 
-Run:  python examples/tpcd_analytics.py [scale]
+Run:  python examples/tpcd_analytics.py [scale] [db-dir]
+
+With a ``db-dir`` the loaded database is persisted through the mmap
+storage layer: the first run saves it, later runs skip dbgen + load
+and reopen the heaps as ``np.memmap`` views (a warm start).
 """
 
 import sys
 import time
 
 from repro.monet.buffer import BufferManager, use
-from repro.tpcd import QUERIES, generate, load_tpcd
+from repro.tpcd import QUERIES, generate, load_tpcd, open_tpcd, \
+    peek_tpcd_meta
 
 
-def main(scale=0.001):
-    print("generating TPC-D at SF=%g ..." % scale)
-    dataset = generate(scale=scale, seed=42)
-    print("  %s" % dataset)
-
-    db, report = load_tpcd(dataset)
+def main(scale=0.001, db_dir=None):
+    meta = peek_tpcd_meta(db_dir) if db_dir else None
+    if meta is not None and meta.get("scale") == scale \
+            and meta.get("seed") == 42:
+        print("reopening saved TPC-D database from %s ..." % db_dir)
+        db, report = open_tpcd(db_dir)
+    else:
+        print("generating TPC-D at SF=%g ..." % scale)
+        dataset = generate(scale=scale, seed=42)
+        print("  %s" % dataset)
+        db, report = load_tpcd(dataset, db_dir=db_dir)
     print("\n=== load pipeline (paper section 6) ===")
     print(report.format_table())
 
@@ -58,4 +68,5 @@ def main(scale=0.001):
 
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.001)
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.001,
+         sys.argv[2] if len(sys.argv) > 2 else None)

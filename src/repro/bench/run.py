@@ -18,6 +18,21 @@ Query entries record median wall ms, simulated faults and result
 cardinality.  ``--quick`` shrinks SF and repetitions for the smoke
 test wired into the tier-1 suite (``tests/test_bench_smoke.py``), so
 the harness cannot silently rot between PRs.
+
+``--db-dir DIR`` caches the loaded TPC-D database through the storage
+layer: the first run saves it, later runs skip dbgen + load entirely
+and reopen the heaps as ``np.memmap`` views (the ``load`` section of
+the JSON records whether the start was warm and how long it took).
+``--validate`` additionally runs every query against a freshly
+mmap-reopened database and compares the *simulated* page-fault
+accounting with the pages the OS really faulted in (resident-set
+deltas of the mapped files) — the paper's Figure 9/10 observable
+checked against a real pager.
+
+The harness **fails with a nonzero exit** when any operator or query
+median regresses by more than 2x against the previous JSON at the
+output path (same scale + mode only; disable with
+``--no-regression-check``).
 """
 
 import argparse
@@ -37,12 +52,20 @@ from ..monet.buffer import use as use_manager
 from ..monet.column import equality_keys
 from ..monet.operators import naive
 from ..monet.optimizer import dispatch_disabled
+from ..monet.storage import PAGESIZE, residency_report, residency_snapshot
 from ..monet import vectorized as vz
-from ..tpcd import QUERIES, generate, load_tpcd
+from ..tpcd import QUERIES, generate, load_tpcd, open_tpcd, peek_tpcd_meta
 from .harness import measure_query_faults
 
 DEFAULT_SF = 0.01
 QUICK_SF = 0.0005
+DEFAULT_SEED = 42
+
+#: Regression gate: fail when a median exceeds REGRESSION_FACTOR x the
+#: previous run's median (sub-floor baselines are clamped so timer
+#: noise on micro-entries cannot trip the gate).
+REGRESSION_FACTOR = 2.0
+REGRESSION_FLOOR_MS = 0.2
 
 
 def _median_ms(fn, reps):
@@ -67,42 +90,106 @@ def _bat(head_atom, heads, tail_atom, tails):
     return bat
 
 
-def _operand_bats(dataset):
-    """Operator benchmark operands drawn from the TPC-D columns."""
+def _operand_source(dataset):
+    """The raw columns the operand BATs are built from (cold start)."""
     item = dataset.tables["item"]
     orders = dataset.tables["orders"]
-    n_item = len(item["order"])
-    n_orders = len(orders["cust"])
+    return {
+        "seed": dataset.seed,
+        "item_order": np.asarray(item["order"]),
+        "item_part": np.asarray(item["part"]),
+        "item_quantity": np.asarray(item["quantity"]),
+        "item_price": np.asarray(item["extendedprice"]),
+        "orders_cust": np.asarray(orders["cust"]),
+        "orders_clerk": np.asarray(orders["clerk"], dtype=object),
+    }
+
+
+def _operand_source_from_db(db, seed):
+    """The same columns recovered from a reopened catalog (warm start).
+
+    Datavectors hold each attribute in extent (oid) order, which is
+    exactly the row order of ``dataset.tables`` — so warm-start
+    operands are BUN-for-BUN identical to cold-start ones.
+    """
+    kernel = db.kernel
+
+    def vector(name):
+        return np.asarray(
+            kernel.get(name).accel["datavector"].vector.logical())
+
+    return {
+        "seed": seed,
+        "item_order": vector("Item_order"),
+        "item_part": vector("Item_part"),
+        "item_quantity": vector("Item_quantity"),
+        "item_price": vector("Item_extendedprice"),
+        "orders_cust": vector("Order_cust"),
+        "orders_clerk": vector("Order_clerk"),
+    }
+
+
+def _operand_bats(source):
+    """Operator benchmark operands drawn from the TPC-D columns."""
+    n_item = len(source["item_order"])
+    n_orders = len(source["orders_cust"])
     item_oids = list(range(n_item))
-    rng = np.random.default_rng(dataset.seed)
+    rng = np.random.default_rng(source["seed"])
 
     operands = {}
     # [item oid, order id]: the N:1 join/grouping column of Q3/Q10/Q13
     operands["item_order"] = _bat("oid", item_oids, "long",
-                                  item["order"].tolist())
+                                  source["item_order"].tolist())
     # [order id (permuted), customer]: hashjoin inner, not head-ordered
     perm = rng.permutation(n_orders)
     operands["orders_cust"] = _bat(
         "long", perm.tolist(),
-        "long", orders["cust"][perm].tolist())
+        "long", source["orders_cust"][perm].tolist())
     # [item oid, extendedprice]: aggregation payload
     operands["item_price"] = _bat("oid", item_oids, "double",
-                                  item["extendedprice"].tolist())
+                                  source["item_price"].tolist())
     # grouped aggregate input [order id, extendedprice]
-    operands["order_price"] = _bat("long", item["order"].tolist(),
+    operands["order_price"] = _bat("long", source["item_order"].tolist(),
                                    "double",
-                                   item["extendedprice"].tolist())
+                                   source["item_price"].tolist())
     # a selection of item oids (~20%), semijoin probe side
     step5 = list(range(0, n_item, 5))
     operands["item_sel"] = _bat("oid", step5, "oid", step5)
     # two overlapping [oid, quantity] windows for the set operations
     half = n_item // 2
-    quantity = item["quantity"].tolist()
+    quantity = source["item_quantity"].tolist()
     operands["items_lo"] = bat_from_columns_values(
         "oid", item_oids[:half + half // 2], "long",
         quantity[:half + half // 2])
     operands["items_hi"] = bat_from_columns_values(
         "oid", item_oids[half // 2:], "long", quantity[half // 2:])
+
+    # --- var-sized (string) join/semijoin keys ------------------------
+    clerks = source["orders_clerk"].tolist()
+    order_ids = list(range(n_orders))
+    # [order id, clerk]: string-tail join outer
+    operands["orders_clerk"] = _bat("long", order_ids, "string", clerks)
+    # [clerk, clerk id]: string-head join inner (distinct clerks, own
+    # heap, so the cross-heap re-encode path of equality_keys runs)
+    distinct = sorted(set(clerks))
+    operands["clerk_names"] = _bat("string", distinct, "long",
+                                   list(range(len(distinct))))
+    # [clerk, order id]: string-head semijoin outer + ~20% probe side
+    operands["clerk_orders"] = _bat("string", clerks, "long", order_ids)
+    probe = distinct[::5] or distinct[:1]
+    operands["clerk_sel"] = _bat("string", probe, "long",
+                                 list(range(len(probe))))
+
+    # --- pairjoin composite keys (order, part), right side permuted ---
+    item_perm = rng.permutation(n_item)
+    operands["pair_l1"] = _bat("oid", item_oids, "long",
+                               source["item_order"].tolist())
+    operands["pair_l2"] = _bat("oid", item_oids, "long",
+                               source["item_part"].tolist())
+    operands["pair_r1"] = _bat("oid", item_perm.tolist(), "long",
+                               source["item_order"][item_perm].tolist())
+    operands["pair_r2"] = _bat("oid", item_perm.tolist(), "long",
+                               source["item_part"][item_perm].tolist())
     return operands
 
 
@@ -119,9 +206,13 @@ def _operator_cases(operands):
     price = operands["item_price"]
     grouped = operands["order_price"]
     lo, hi = operands["items_lo"], operands["items_hi"]
+    oc, cn = operands["orders_clerk"], operands["clerk_names"]
+    co, cs = operands["clerk_orders"], operands["clerk_sel"]
 
     join_l, join_r = equality_keys(ab.tail, cd.head)
     semi_l, semi_r = equality_keys(price.head, sel.head)
+    sjoin_l, sjoin_r = equality_keys(oc.tail, cn.head)
+    ssemi_l, ssemi_r = equality_keys(co.head, cs.head)
     group_keys = grouped.head.keys()
     sum_codes, sum_groups = vz.factorize(group_keys)
     sum_values = np.asarray(grouped.tail.logical(), dtype=np.float64)
@@ -132,9 +223,21 @@ def _operator_cases(operands):
         with dispatch_disabled():
             return ops.join(ab, cd)
 
+    def join_str():
+        with dispatch_disabled():
+            return ops.join(oc, cn)
+
     def semijoin():
         with dispatch_disabled():
             return ops.semijoin(price, sel)
+
+    def semijoin_str():
+        with dispatch_disabled():
+            return ops.semijoin(co, cs)
+
+    def pairjoin():
+        return ops.pairjoin([operands["pair_l1"], operands["pair_l2"],
+                             operands["pair_r1"], operands["pair_r2"]])
 
     def unique_codes():
         h_codes, _n_h = vz.factorize(uniq_h)
@@ -154,11 +257,24 @@ def _operator_cases(operands):
             lambda: vz.join_match(join_l, join_r),
             lambda: naive.join_match(join_l, join_r),
             lambda out: len(out)),
+        "join_str": (
+            join_str,
+            lambda: vz.join_match(sjoin_l, sjoin_r),
+            lambda: naive.join_match(sjoin_l, sjoin_r),
+            lambda out: len(out)),
         "semijoin": (
             semijoin,
             lambda: vz.membership_mask(semi_l, semi_r),
             lambda: naive.membership_mask(semi_l, semi_r),
             lambda out: len(out)),
+        "semijoin_str": (
+            semijoin_str,
+            lambda: vz.membership_mask(ssemi_l, ssemi_r),
+            lambda: naive.membership_mask(ssemi_l, ssemi_r),
+            lambda out: len(out)),
+        "pairjoin": (
+            pairjoin,
+            None, None, lambda out: len(out)),
         "group": (
             lambda: ops.group1(grouped),
             lambda: vz.factorize(group_keys),
@@ -214,10 +330,54 @@ def _kernel_equal(a, b):
     return np.array_equal(a, b)
 
 
-def run(sf, reps, quick, out_path):
-    dataset = generate(scale=sf, seed=42)
-    db, _report = load_tpcd(dataset)
-    operands = _operand_bats(dataset)
+def _load_database(sf, seed, db_dir):
+    """(db, source, load seconds, warm flag) honouring the cache dir."""
+    started = time.perf_counter()
+    if db_dir is not None:
+        meta = peek_tpcd_meta(db_dir)
+        if meta is not None and meta.get("scale") == sf \
+                and meta.get("seed") == seed:
+            db, _report = open_tpcd(db_dir)
+            source = _operand_source_from_db(db, seed)
+            return db, source, time.perf_counter() - started, True
+    dataset = generate(scale=sf, seed=seed)
+    db, _report = load_tpcd(dataset, db_dir=db_dir)
+    return db, _operand_source(dataset), time.perf_counter() - started, \
+        False
+
+
+def _validate_queries(db_dir):
+    """Simulated vs real page touches per query, each on a cold mmap.
+
+    Every query gets a *freshly reopened* database, so its mappings
+    start with zero resident pages and the smaps deltas are true
+    cold-start fault counts for the pages the execution touched.
+    """
+    validation = {}
+    for number in sorted(QUERIES):
+        db, _report = open_tpcd(db_dir)
+        manager = BufferManager(page_size=PAGESIZE, track_pages=True)
+        before = residency_snapshot(db.kernel)
+        with use_manager(manager):
+            QUERIES[number].run(db)
+        rows, totals = residency_report(db.kernel, manager,
+                                        before=before)
+        entry = {
+            "simulated_pages": totals["simulated_pages"],
+            "resident_pages": totals["resident_pages"],
+            "simulated_faults": int(manager.faults),
+        }
+        if number == 13:
+            # Figure 10's query keeps its per-heap breakdown
+            entry["heaps"] = rows
+        validation[str(number)] = entry
+    return validation
+
+
+def run(sf, reps, quick, out_path, db_dir=None, validate=False,
+        seed=DEFAULT_SEED):
+    db, source, load_s, warm = _load_database(sf, seed, db_dir)
+    operands = _operand_bats(source)
     # mergejoin inner: head-ordered + key [oid, extendedprice]
     operands["item_price_sorted"] = operands["item_price"]
 
@@ -226,9 +386,14 @@ def run(sf, reps, quick, out_path):
             "sf": sf,
             "reps": reps,
             "quick": quick,
-            "rows_item": int(dataset.counts["item"]),
+            "rows_item": int(len(source["item_order"])),
             "python": platform.python_version(),
             "numpy": np.__version__,
+        },
+        "load": {
+            "warm_start": warm,
+            "seconds": round(load_s, 4),
+            "db_dir": db_dir,
         },
         "operators": {},
         "queries": {},
@@ -266,10 +431,48 @@ def run(sf, reps, quick, out_path):
             "rows": int(shape),
         }
 
+    if validate and db_dir is not None:
+        results["residency"] = _validate_queries(db_dir)
+
     with open(out_path, "w") as handle:
         json.dump(results, handle, indent=1, sort_keys=True)
         handle.write("\n")
     return results
+
+
+def find_regressions(previous, results, factor=REGRESSION_FACTOR,
+                     floor_ms=REGRESSION_FLOOR_MS):
+    """Medians that regressed >``factor``x vs the previous trajectory.
+
+    Only comparable runs are checked: same scale factor, same mode,
+    and same start temperature — a warm (mmap reopen) and a cold
+    (dbgen + load) run differ by page-cache state alone, enough to
+    shift medians ~2x without any code regression.  Entries new in
+    this run are skipped.  Returns a list of human-readable
+    regression descriptions (empty = gate passes).
+    """
+    if not isinstance(previous, dict):
+        return []
+    prev_meta = previous.get("meta", {})
+    if prev_meta.get("sf") != results["meta"]["sf"] \
+            or prev_meta.get("quick") != results["meta"]["quick"]:
+        return []
+    if previous.get("load", {}).get("warm_start") != \
+            results.get("load", {}).get("warm_start"):
+        return []
+    regressions = []
+    for section in ("operators", "queries"):
+        for name, entry in sorted(results.get(section, {}).items()):
+            old = previous.get(section, {}).get(name, {}).get("median_ms")
+            new = entry.get("median_ms")
+            if old is None or new is None:
+                continue
+            baseline = max(float(old), floor_ms)
+            if float(new) > factor * baseline:
+                regressions.append(
+                    "%s/%s: %.3f ms vs %.3f ms baseline (>%.1fx)"
+                    % (section, name, new, old, factor))
+    return regressions
 
 
 def main(argv=None):
@@ -285,6 +488,18 @@ def main(argv=None):
     parser.add_argument("--out", default=None,
                         help="output path (default "
                              "<repo>/BENCH_operators.json)")
+    parser.add_argument("--db-dir", default=None,
+                        help="persistent database cache: first run "
+                             "saves the loaded TPC-D database there, "
+                             "later runs reopen it via mmap and skip "
+                             "dbgen entirely")
+    parser.add_argument("--validate", action="store_true",
+                        help="compare simulated page faults against "
+                             "real resident-set deltas of the mapped "
+                             "heap files (needs --db-dir)")
+    parser.add_argument("--no-regression-check", action="store_true",
+                        help="do not fail on >%gx median regressions "
+                             "vs the previous JSON" % REGRESSION_FACTOR)
     args = parser.parse_args(argv)
 
     sf = args.sf if args.sf is not None else \
@@ -293,6 +508,8 @@ def main(argv=None):
         (2 if args.quick else 5)
     if reps < 1:
         parser.error("--reps must be at least 1")
+    if args.validate and args.db_dir is None:
+        parser.error("--validate needs --db-dir")
     out_path = args.out
     if out_path is None:
         repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -302,9 +519,21 @@ def main(argv=None):
     if not os.path.isdir(out_dir):
         parser.error("output directory does not exist: %s" % out_dir)
 
-    results = run(sf, reps, args.quick, out_path)
+    previous = None
+    if not args.no_regression_check and os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                previous = json.load(handle)
+        except ValueError:
+            previous = None
+
+    results = run(sf, reps, args.quick, out_path, db_dir=args.db_dir,
+                  validate=args.validate)
     ops_table = results["operators"]
     print("BENCH sf=%s reps=%d -> %s" % (sf, reps, out_path))
+    print("  load: %s in %.2fs"
+          % ("warm (mmap reopen)" if results["load"]["warm_start"]
+             else "cold (dbgen + load)", results["load"]["seconds"]))
     for name, entry in sorted(ops_table.items()):
         extra = ""
         if "speedup" in entry:
@@ -319,6 +548,30 @@ def main(argv=None):
     print("  %d queries; slowest Q%s at %.1f ms"
           % (len(results["queries"]), slowest[0],
              slowest[1]["median_ms"]))
+    if "residency" in results:
+        print("  residency validation (simulated vs real pages):")
+        for number, entry in sorted(results["residency"].items(),
+                                    key=lambda kv: int(kv[0])):
+            print("    Q%-3s sim=%-7d real=%-7d"
+                  % (number, entry["simulated_pages"],
+                     entry["resident_pages"]))
+
+    regressions = find_regressions(previous, results)
+    if regressions:
+        # keep the last good trajectory as the baseline — otherwise a
+        # regressed run becomes its own baseline and the gate only
+        # fires once; the failing run is preserved next to it
+        failed_path = out_path + ".regressed"
+        os.replace(out_path, failed_path)
+        with open(out_path, "w") as handle:
+            json.dump(previous, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("REGRESSION: %d median(s) regressed >%gx "
+              "(failing run kept at %s):"
+              % (len(regressions), REGRESSION_FACTOR, failed_path))
+        for line in regressions:
+            print("  " + line)
+        return 1
     return 0
 
 

@@ -16,8 +16,11 @@ from .bat import (BAT, bat_dense_head, bat_from_columns_values,
 from .buffer import BufferManager, get_manager, set_manager, use
 from .column import (Column, FixedColumn, VarColumn, VoidColumn,
                      column_from_values)
-from .heap import FixedHeap, VarHeap
+from .heap import FixedHeap, MappedVarHeap, VarHeap
 from .kernel import MonetKernel
+from .storage import (HeapStorage, MemoryBackend, MmapBackend,
+                      open_kernel, residency_report, residency_snapshot,
+                      save_kernel)
 from .mil import MILInterpreter, MILProgram, MILStmt, MILTrace, Var
 from .optimizer import Optimizer, dispatch_disabled, get_optimizer
 from .properties import Props, compute_props, synced, verify
@@ -30,8 +33,11 @@ __all__ = [
     "BufferManager", "get_manager", "set_manager", "use",
     "Column", "FixedColumn", "VarColumn", "VoidColumn",
     "column_from_values",
-    "FixedHeap", "VarHeap",
+    "FixedHeap", "MappedVarHeap", "VarHeap",
     "MonetKernel",
+    "HeapStorage", "MemoryBackend", "MmapBackend",
+    "open_kernel", "residency_report", "residency_snapshot",
+    "save_kernel",
     "MILInterpreter", "MILProgram", "MILStmt", "MILTrace", "Var",
     "Optimizer", "dispatch_disabled", "get_optimizer",
     "Props", "compute_props", "synced", "verify",

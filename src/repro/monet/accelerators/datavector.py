@@ -32,9 +32,12 @@ from ..column import equality_keys
 class DataVectorRegistry:
     """Shared per-class side of the datavector accelerator."""
 
-    def __init__(self, class_name, extent_column):
-        extent = np.asarray(extent_column.logical(), dtype=np.int64)
-        if len(extent) > 1 and not np.all(extent[:-1] < extent[1:]):
+    def __init__(self, class_name, extent_column, check=True):
+        # asanyarray keeps a reopened extent as its zero-copy memmap
+        # view; ``check=False`` (storage reopen path) skips the eager
+        # ascending scan, which would otherwise fault in every page
+        extent = np.asanyarray(extent_column.logical(), dtype=np.int64)
+        if check and len(extent) > 1 and not np.all(extent[:-1] < extent[1:]):
             raise OperatorError(
                 "datavector extent for %s must be strictly ascending"
                 % class_name)

@@ -59,12 +59,21 @@ class BufferManager:
     enabled:
         When False every accounting call is a no-op, so the simulation
         can be switched off for pure-speed runs.
+    track_pages:
+        When True, the distinct pages touched are recorded *per heap*
+        (``heap_pages``), so the simulation can be compared against the
+        real resident-set deltas of mmap-backed heaps (see
+        :func:`repro.monet.storage.residency_report`).
     """
 
-    def __init__(self, page_size=4096, memory_pages=None, enabled=True):
+    def __init__(self, page_size=4096, memory_pages=None, enabled=True,
+                 track_pages=False):
         self.page_size = int(page_size)
         self.memory_pages = memory_pages
         self.enabled = enabled
+        self.track_pages = track_pages
+        #: heap_id -> set of touched page numbers (track_pages mode)
+        self.heap_pages = {}
         self._resident = OrderedDict()
         #: transient pages that were evicted under memory pressure;
         #: touching them again is a real fault (spill re-read)
@@ -109,6 +118,12 @@ class BufferManager:
         budget = self.memory_pages
         persistent = getattr(heap, "persistent", True)
         heap_id = heap.heap_id
+        if self.track_pages:
+            touched = self.heap_pages.get(heap_id)
+            if touched is None:
+                touched = self.heap_pages[heap_id] = set()
+            pages = list(pages)
+            touched.update(pages)
         misses = 0
         for page in pages:
             key = (heap_id, page)
@@ -229,11 +244,17 @@ class BufferManager:
     def snapshot(self):
         return BufferStats(self.faults, self.hits, self.evictions)
 
+    def touched_page_counts(self):
+        """heap_id -> number of distinct pages touched (track_pages)."""
+        return {heap_id: len(pages)
+                for heap_id, pages in self.heap_pages.items()}
+
     def reset_counters(self):
         self.faults = 0
         self.hits = 0
         self.evictions = 0
         self.op_faults = {}
+        self.heap_pages = {}
 
 
 #: Disabled manager used when no simulation is requested.

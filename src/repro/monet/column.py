@@ -98,7 +98,9 @@ class FixedColumn(Column):
         if self.atom.dtype is None:
             raise BATError("atom %s is variable-size; use VarColumn"
                            % self.atom.name)
-        self.data = np.asarray(data, dtype=self.atom.dtype)
+        # asanyarray keeps np.memmap views intact, so columns reopened
+        # from the storage layer stay zero-copy windows onto the file
+        self.data = np.asanyarray(data, dtype=self.atom.dtype)
         if self.data.ndim != 1:
             raise BATError("column data must be one-dimensional")
         self._heap = FixedHeap(self.data, self.atom.width, label)
@@ -149,7 +151,7 @@ class VarColumn(Column):
         if not self.atom.varsized:
             raise BATError("atom %s is fixed-width; use FixedColumn"
                            % self.atom.name)
-        self.indices = np.asarray(indices, dtype=np.int32)
+        self.indices = np.asanyarray(indices, dtype=np.int32)
         if self.indices.ndim != 1:
             raise BATError("column data must be one-dimensional")
         self.heap = heap

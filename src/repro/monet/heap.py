@@ -81,6 +81,7 @@ class VarHeap(Heap):
         self.lookup = {}
         self._body_bytes = 0
         self._sorted_cache = None
+        self._table_cache = None
 
     def insert(self, value):
         """Intern ``value``; return its index."""
@@ -91,6 +92,7 @@ class VarHeap(Heap):
             self.lookup[value] = index
             self._body_bytes += len(value.encode("utf-8")) + 1
             self._sorted_cache = None
+            self._table_cache = None
         return index
 
     def insert_many(self, values):
@@ -103,14 +105,19 @@ class VarHeap(Heap):
         """Index of ``value`` or ``None`` when absent."""
         return self.lookup.get(value)
 
+    def decode_table(self):
+        """The distinct values as an object array (cached until insert)."""
+        if self._table_cache is None:
+            self._table_cache = np.array(self.values, dtype=object)
+        return self._table_cache
+
     def decode(self, indices):
         """Map an index array back to an object array of values."""
-        if len(self.values) == 0:
+        if len(self) == 0:
             if len(indices) == 0:
                 return np.empty(0, dtype=object)
             raise HeapError("decode from empty var heap")
-        table = np.array(self.values, dtype=object)
-        return table[np.asarray(indices, dtype=np.int64)]
+        return self.decode_table()[np.asarray(indices, dtype=np.int64)]
 
     def decode_one(self, index):
         return self.values[int(index)]
@@ -124,7 +131,7 @@ class VarHeap(Heap):
         var-size columns.  The result is cached until the next insert.
         """
         if self._sorted_cache is None:
-            order = sorted(range(len(self.values)), key=self.values.__getitem__)
+            order = np.argsort(self.decode_table(), kind="stable")
             order = np.asarray(order, dtype=np.int64)
             rank = np.empty(len(order), dtype=np.int64)
             rank[order] = np.arange(len(order), dtype=np.int64)
@@ -137,3 +144,69 @@ class VarHeap(Heap):
     @property
     def nbytes(self):
         return self._body_bytes
+
+
+class MappedVarHeap(VarHeap):
+    """A :class:`VarHeap` reopened from an offset+body file pair.
+
+    The storage layer (:mod:`repro.monet.storage`) persists a var heap
+    as ``offsets`` (int64 array of N+1 cumulative byte positions) plus
+    ``body`` (the NUL-terminated UTF-8 value bodies back to back, so
+    value ``k`` lives at ``body[offsets[k] : offsets[k+1]-1]``).  Both
+    sides are handed in as arrays — typically ``np.memmap`` views — and
+    the Python-level ``values`` list / ``lookup`` dict are only
+    materialised on first use, so reopening a database never eagerly
+    reads heap bodies.
+    """
+
+    def __init__(self, offsets, body, label=""):
+        Heap.__init__(self, label)
+        if len(offsets) == 0:
+            raise HeapError("var heap offsets must hold at least [0]")
+        self._offsets = offsets
+        self._body = body
+        self._values = None
+        self._lookup = None
+        # len(body) == offsets[-1] by construction; using the mapping
+        # length avoids faulting in the offsets' last page on open
+        self._body_bytes = len(body)
+        self._sorted_cache = None
+        self._table_cache = None
+        self.persistent = True
+        #: arrays backing this heap (for residency validation)
+        self.mapped = (offsets, body)
+
+    @property
+    def values(self):
+        if self._values is None:
+            offsets = np.asarray(self._offsets, dtype=np.int64)
+            body = bytes(np.asarray(self._body, dtype=np.uint8))
+            self._values = [
+                body[offsets[k]:offsets[k + 1] - 1].decode("utf-8")
+                for k in range(len(offsets) - 1)]
+        return self._values
+
+    @values.setter
+    def values(self, new_values):
+        self._values = new_values
+
+    @property
+    def lookup(self):
+        if self._lookup is None:
+            self._lookup = {value: index
+                            for index, value in enumerate(self.values)}
+        return self._lookup
+
+    @lookup.setter
+    def lookup(self, new_lookup):
+        self._lookup = new_lookup
+
+    @property
+    def decoded(self):
+        """True once the Python value list has been materialised."""
+        return self._values is not None
+
+    def __len__(self):
+        if self._values is not None:
+            return len(self._values)
+        return len(self._offsets) - 1

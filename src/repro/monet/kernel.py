@@ -93,6 +93,30 @@ class MonetKernel:
         return total
 
     # ------------------------------------------------------------------
+    # persistence (see repro.monet.storage)
+    # ------------------------------------------------------------------
+    def save(self, target, meta=None):
+        """Persist the whole catalog to a directory (or backend).
+
+        Writes one raw little-endian file per heap plus a JSON catalog
+        manifest; accelerator heaps (datavectors, hash indexes) are
+        included.  Returns the manifest dict.
+        """
+        from .storage import save_kernel
+        return save_kernel(self, target, meta=meta)
+
+    @classmethod
+    def open(cls, target, buffer_manager=None):
+        """Reopen a saved catalog with zero-copy ``np.memmap`` columns.
+
+        Properties, alignment groups and accelerators are restored from
+        the manifest; no heap data is read eagerly.
+        """
+        from .storage import open_kernel
+        return open_kernel(target, buffer_manager=buffer_manager,
+                           kernel=cls(buffer_manager))
+
+    # ------------------------------------------------------------------
     # load pipeline
     # ------------------------------------------------------------------
     def group_alignment(self, group):

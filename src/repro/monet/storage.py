@@ -1,0 +1,771 @@
+"""Pluggable heap storage: persist a BAT catalog, reopen it via mmap.
+
+The real Monet maps BAT heaps straight into virtual memory (paper
+section 2: "it has no page-based buffer manager ... lets the MMU do
+the job in hardware"), so a loaded database is just a directory of
+heap files plus a catalog.  This module reproduces that design for the
+kernel in :mod:`repro.monet.kernel`:
+
+* :class:`HeapStorage` — the backend interface.  Two implementations
+  exist: :class:`MemoryBackend` (arrays held in a process-local dict,
+  the degenerate "current behaviour" transport used by tests) and
+  :class:`MmapBackend` (one raw little-endian file per heap under a
+  directory, reopened as ``np.memmap`` views).
+* a JSON **catalog manifest** (``catalog.json``) describing every BAT:
+  name, head/tail atom types and layouts, the declared properties
+  (key/ordered), alignment groups (so ``synced`` relationships survive
+  a reopen), plus accelerator heaps — datavectors and hash indexes.
+* :func:`save_kernel` / :func:`open_kernel` — bulk persistence for a
+  whole :class:`~repro.monet.kernel.MonetKernel` catalog.  Reopened
+  fixed-width columns are served as zero-copy ``np.memmap`` views and
+  var heaps decode lazily, so opening a database touches no heap
+  pages.
+* residency helpers (:func:`mapped_file_rss`,
+  :func:`resident_page_count`, :func:`residency_report`) that compare
+  the *simulated* page-fault accounting of
+  :mod:`repro.monet.buffer` against the pages the OS actually faulted
+  into the process for the mapped files — turning the paper's central
+  observable into a testable claim.
+
+File layout (all arrays little-endian, ``tofile`` raw format)::
+
+    <dir>/catalog.json            the manifest (written last)
+    <dir>/<bat>.head.col          FixedColumn data array
+    <dir>/<bat>.tail.idx          VarColumn heap-index array (int32)
+    <dir>/vh<N>.off, vh<N>.body   VarHeap offsets (int64) + NUL-
+                                  terminated UTF-8 bodies
+    <dir>/<bat>.dv.*              datavector value vector per attribute
+    <dir>/<bat>.<slot>.order/.keys  hash accelerator arrays
+"""
+
+import json
+import mmap as _mmap
+import os
+
+import numpy as np
+
+from ..errors import CatalogError, HeapError
+from . import atoms as _atoms
+from .accelerators.datavector import DataVector, DataVectorRegistry
+from .accelerators.hashidx import HashIndex
+from .bat import BAT
+from .column import FixedColumn, VarColumn, VoidColumn
+from .heap import MappedVarHeap, VarHeap
+from .properties import Props, fresh_alignment
+from .vectorized import MultiMap
+
+FORMAT = "repro-bat-catalog"
+VERSION = 1
+MANIFEST = "catalog.json"
+PAGESIZE = _mmap.PAGESIZE
+
+_PROP_FLAGS = ("hkey", "hordered", "tkey", "tordered")
+
+
+def _le(dtype):
+    """The little-endian variant of a numpy dtype (stored format).
+
+    ``dtype.str`` resolves native byte order ('=') to the concrete
+    '<'/'>' character, so this converts on big-endian hosts too.
+    """
+    dtype = np.dtype(dtype)
+    if dtype.str.startswith(">"):
+        return dtype.newbyteorder("<")
+    return dtype
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class HeapStorage:
+    """Backend interface: named flat arrays plus one JSON manifest."""
+
+    def write_array(self, name, array):
+        raise NotImplementedError
+
+    def read_array(self, name, dtype, length):
+        """The named array as ``dtype[length]``; raises HeapError."""
+        raise NotImplementedError
+
+    def write_manifest(self, manifest):
+        raise NotImplementedError
+
+    def read_manifest(self):
+        """The manifest dict; raises CatalogError when absent/corrupt."""
+        raise NotImplementedError
+
+    def exists(self):
+        """True when a manifest has been written to this backend."""
+        raise NotImplementedError
+
+    def prune(self, keep):
+        """Drop stored arrays not named in ``keep`` (best effort)."""
+
+
+class MemoryBackend(HeapStorage):
+    """In-process storage: the current (memory-only) behaviour.
+
+    Round-trips a catalog without touching disk; reads hand back the
+    stored arrays directly, which is exactly what in-memory heaps do.
+    """
+
+    def __init__(self):
+        self._arrays = {}
+        self._manifest = None
+
+    def write_array(self, name, array):
+        self._arrays[name] = np.ascontiguousarray(array, dtype=_le(array.dtype))
+
+    def read_array(self, name, dtype, length):
+        try:
+            array = self._arrays[name]
+        except KeyError:
+            raise HeapError("heap array %r missing from storage" % name) \
+                from None
+        dtype = np.dtype(dtype)
+        if array.nbytes != dtype.itemsize * length:
+            raise HeapError(
+                "heap array %r truncated: %d bytes stored, manifest "
+                "says %d" % (name, array.nbytes, dtype.itemsize * length))
+        return array if array.dtype == dtype else array.view(dtype)
+
+    def write_manifest(self, manifest):
+        self._manifest = json.loads(json.dumps(manifest))
+
+    def read_manifest(self):
+        if self._manifest is None:
+            raise CatalogError("no catalog manifest in storage")
+        return json.loads(json.dumps(self._manifest))
+
+    def exists(self):
+        return self._manifest is not None
+
+    def prune(self, keep):
+        for name in [n for n in self._arrays if n not in keep]:
+            del self._arrays[name]
+
+
+class MmapBackend(HeapStorage):
+    """Directory-of-files storage reopened through ``np.memmap``."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+
+    def _file(self, name):
+        return os.path.join(self.path, name)
+
+    def write_array(self, name, array):
+        os.makedirs(self.path, exist_ok=True)
+        array = np.ascontiguousarray(array, dtype=_le(array.dtype))
+        # write-to-temp + rename: ``array`` may be an np.memmap of the
+        # destination itself (saving a kernel back to the directory it
+        # was opened from) — truncating in place would SIGBUS the copy
+        staging = self._file(name + ".tmp")
+        array.tofile(staging)
+        os.replace(staging, self._file(name))
+
+    def read_array(self, name, dtype, length):
+        path = self._file(name)
+        dtype = np.dtype(dtype)
+        expected = dtype.itemsize * length
+        try:
+            actual = os.path.getsize(path)
+        except OSError:
+            raise HeapError("heap file %r missing from %s"
+                            % (name, self.path)) from None
+        if actual != expected:
+            raise HeapError(
+                "heap file %r truncated: %d bytes on disk, manifest "
+                "says %d" % (name, actual, expected))
+        if length == 0:
+            return np.empty(0, dtype=dtype)
+        return np.memmap(path, dtype=dtype, mode="r", shape=(length,))
+
+    def write_manifest(self, manifest):
+        os.makedirs(self.path, exist_ok=True)
+        staging = self._file(MANIFEST + ".tmp")
+        with open(staging, "w") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(staging, self._file(MANIFEST))
+
+    def read_manifest(self):
+        path = self._file(MANIFEST)
+        if not os.path.exists(path):
+            raise CatalogError("no catalog manifest at %s" % path)
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except ValueError as exc:
+            raise CatalogError("corrupt catalog manifest at %s: %s"
+                               % (path, exc)) from None
+        if not isinstance(manifest, dict):
+            raise CatalogError("corrupt catalog manifest at %s: not an "
+                               "object" % path)
+        return manifest
+
+    def exists(self):
+        return os.path.exists(self._file(MANIFEST))
+
+    #: suffixes this backend ever writes — pruning is limited to them
+    #: so foreign files in the directory are never touched
+    _OWNED_SUFFIXES = (".col", ".idx", ".off", ".body", ".order",
+                       ".keys", ".extent", ".tmp")
+
+    def prune(self, keep):
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if name in keep or name == MANIFEST:
+                continue
+            if not name.endswith(self._OWNED_SUFFIXES):
+                continue
+            try:
+                os.unlink(self._file(name))
+            except OSError:
+                pass
+
+
+def as_backend(target):
+    """Coerce a path (or pass a backend through) to a HeapStorage."""
+    if isinstance(target, HeapStorage):
+        return target
+    return MmapBackend(target)
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_kernel(kernel, target, meta=None):
+    """Persist a kernel catalog; returns the manifest dict.
+
+    Every catalog BAT is written with its properties, alignment group
+    and accelerator heaps (datavector value vectors and array-backed
+    hash indexes); shared var heaps are written once and re-shared on
+    open.  The manifest is written last, so a crashed save never
+    leaves an openable-but-inconsistent database behind.
+    """
+    backend = as_backend(target)
+    groups = _AlignmentGroups()
+    var_heaps = {}
+    bats = {}
+    registries = dict(kernel.registries)
+    for name in kernel.names():
+        bat = kernel.get(name)
+        entry = {
+            "head": _save_column(backend, var_heaps, name + ".head",
+                                 bat.head),
+            "tail": _save_column(backend, var_heaps, name + ".tail",
+                                 bat.tail),
+            "props": [flag for flag in _PROP_FLAGS
+                      if getattr(bat.props, flag)],
+            "alignment": groups.index_of(bat.alignment),
+        }
+        accel = _save_accelerators(backend, var_heaps, name, bat,
+                                   registries)
+        if accel:
+            entry["accel"] = accel
+        bats[name] = entry
+    datavectors = {}
+    for class_name, registry in sorted(registries.items()):
+        # when the registry's extent column is a catalog BAT's head
+        # (the create_datavectors construction), record the share so
+        # the reopen re-attaches the same heap — otherwise the fault
+        # accounting would charge extent pages to two distinct heaps
+        shared = _extent_bat_of(kernel, registry)
+        if shared is not None:
+            datavectors[class_name] = {"extent_bat": shared}
+            continue
+        stem = "_dv.%s.extent" % class_name
+        backend.write_array(stem, np.asarray(registry.extent,
+                                             dtype=np.int64))
+        datavectors[class_name] = {"extent": {
+            "file": stem, "dtype": "<i8",
+            "length": len(registry.extent)}}
+    manifest = {
+        "format": FORMAT,
+        "version": VERSION,
+        "meta": dict(meta or {}),
+        "alignment_groups": groups.tags,
+        "var_heaps": var_heaps,
+        "bats": bats,
+        "datavectors": datavectors,
+    }
+    backend.write_manifest(manifest)
+    # with the new manifest durable, drop files it no longer
+    # references (heap ids are process-global, so a re-save would
+    # otherwise strand the previous save's files forever)
+    backend.prune(_manifest_files(manifest))
+    return manifest
+
+
+def _manifest_files(manifest):
+    """Every storage name a manifest references (pruning keep-set)."""
+    keep = set()
+
+    def column_files(spec):
+        if spec.get("file"):
+            keep.add(spec["file"])
+
+    for entry in manifest["bats"].values():
+        column_files(entry["head"])
+        column_files(entry["tail"])
+        accel = entry.get("accel", {})
+        if "datavector" in accel:
+            column_files(accel["datavector"]["vector"])
+        for slot in ("hash", "hash_tail"):
+            if slot in accel:
+                keep.add(accel[slot]["order"])
+                keep.add(accel[slot]["keys"])
+    for spec in manifest["var_heaps"].values():
+        keep.add(spec["offsets"])
+        keep.add(spec["body"])
+    for entry in manifest.get("datavectors", {}).values():
+        if "extent" in entry:
+            keep.add(entry["extent"]["file"])
+    return keep
+
+
+def _extent_bat_of(kernel, registry):
+    """Catalog BAT whose head column backs the registry's extent."""
+    extent_heaps = {heap.heap_id for heap in
+                    registry.extent_column.heaps}
+    if not extent_heaps:
+        return None
+    for name in kernel.names():
+        head = kernel.get(name).head
+        if any(heap.heap_id in extent_heaps for heap in head.heaps):
+            return name
+    return None
+
+
+class _AlignmentGroups:
+    """Token -> dense group index, remembering each group's tag."""
+
+    def __init__(self):
+        self._index = {}
+        self.tags = []
+
+    def index_of(self, token):
+        if token is None:
+            return None
+        index = self._index.get(token)
+        if index is None:
+            index = self._index[token] = len(self.tags)
+            tag = token[0] if (isinstance(token, tuple) and token
+                               and isinstance(token[0], str)) else "anon"
+            self.tags.append(tag)
+        return index
+
+
+def _save_column(backend, var_heaps, stem, column):
+    if isinstance(column, VoidColumn):
+        return {"kind": "void", "seqbase": column.seqbase,
+                "length": column.length}
+    if isinstance(column, VarColumn):
+        heap_key = _save_var_heap(backend, var_heaps, column.heap)
+        file_name = stem + ".idx"
+        backend.write_array(file_name, column.indices)
+        return {"kind": "var", "atom": column.atom.name,
+                "file": file_name, "dtype": "<i4",
+                "length": len(column), "heap": heap_key,
+                "label": column._index_heap.label}
+    if isinstance(column, FixedColumn):
+        dtype = _le(column.data.dtype)
+        file_name = stem + ".col"
+        backend.write_array(file_name, column.data)
+        return {"kind": "fixed", "atom": column.atom.name,
+                "file": file_name, "dtype": dtype.str,
+                "length": len(column), "label": column._heap.label}
+    raise CatalogError("cannot persist column type %s"
+                       % type(column).__name__)
+
+
+def _save_var_heap(backend, var_heaps, heap):
+    key = "vh%d" % heap.heap_id
+    if key in var_heaps:
+        return key
+    if isinstance(heap, MappedVarHeap) and not heap.decoded:
+        offsets = np.asarray(heap._offsets, dtype=np.int64)
+        body = np.asarray(heap._body, dtype=np.uint8)
+    else:
+        encoded = [value.encode("utf-8") for value in heap.values]
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        if encoded:
+            np.cumsum([len(piece) + 1 for piece in encoded],
+                      out=offsets[1:])
+        body = np.frombuffer(b"".join(piece + b"\0" for piece in encoded),
+                             dtype=np.uint8)
+    backend.write_array(key + ".off", offsets)
+    backend.write_array(key + ".body", body)
+    var_heaps[key] = {"offsets": key + ".off", "body": key + ".body",
+                      "count": int(len(offsets) - 1),
+                      "body_bytes": int(offsets[-1]) if len(offsets) else 0,
+                      "label": heap.label}
+    return key
+
+
+def _save_accelerators(backend, var_heaps, name, bat, registries):
+    accel = {}
+    vector = bat.accel.get("datavector")
+    if vector is not None:
+        registries.setdefault(vector.registry.class_name,
+                              vector.registry)
+        accel["datavector"] = {
+            "class": vector.registry.class_name,
+            "vector": _save_column(backend, var_heaps, name + ".dv",
+                                   vector.vector),
+        }
+    for slot in ("hash", "hash_tail"):
+        index = bat.accel.get(slot)
+        if isinstance(index, HashIndex) and index.map.vectorised:
+            order_file = "%s.%s.order" % (name, slot)
+            keys_file = "%s.%s.keys" % (name, slot)
+            backend.write_array(order_file,
+                                np.asarray(index.map.order, dtype=np.int64))
+            keys = np.asarray(index.map.sorted_keys)
+            backend.write_array(keys_file, keys)
+            accel[slot] = {"order": order_file, "keys": keys_file,
+                           "dtype": _le(keys.dtype).str,
+                           "length": int(index.n_entries),
+                           "label": index.heap.label}
+    return accel
+
+
+# ----------------------------------------------------------------------
+# open
+# ----------------------------------------------------------------------
+def open_kernel(target, buffer_manager=None, kernel=None):
+    """Reopen a saved catalog; returns a populated MonetKernel.
+
+    Columns come back as ``np.memmap`` views (mmap backend) and var
+    heaps decode lazily, so no heap data is read eagerly; properties
+    are restored from the manifest rather than recomputed, and BATs of
+    one alignment group come back mutually synced.
+    """
+    from .kernel import MonetKernel, mark_persistent
+
+    backend = as_backend(target)
+    manifest = backend.read_manifest()
+    _check_manifest(manifest)
+    if kernel is None:
+        kernel = MonetKernel(buffer_manager)
+    tokens = [fresh_alignment(tag) for tag in manifest["alignment_groups"]]
+    for tag, token in zip(manifest["alignment_groups"], tokens):
+        if tag.startswith("load:"):
+            kernel._group_alignment.setdefault(tag[len("load:"):], token)
+    opener = _Opener(backend, manifest["var_heaps"])
+    entries = manifest["bats"]
+    for name in sorted(entries):
+        entry = entries[name]
+        bat = BAT(opener.column(entry["head"]),
+                  opener.column(entry["tail"]),
+                  props=_open_props(entry.get("props", ())),
+                  alignment=_token_of(tokens, entry.get("alignment")))
+        mark_persistent(bat)
+        kernel.register(name, bat)
+    registries = {}
+    for class_name, spec in sorted(manifest.get("datavectors",
+                                                {}).items()):
+        extent_bat = spec.get("extent_bat")
+        extent_spec = spec.get("extent")
+        if extent_bat is not None and extent_bat in kernel:
+            # re-share the extent BAT's head heap (see save side)
+            column = kernel.get(extent_bat).head
+        elif extent_spec is not None:
+            extent = _read_spec_array(backend, extent_spec)
+            column = FixedColumn(_atoms.OID, extent, label=class_name)
+            _note_mapped(column._heap, extent)
+            column._heap.persistent = True
+        else:
+            raise CatalogError("datavector entry for %r has no extent"
+                               % class_name)
+        registry = DataVectorRegistry(class_name, column, check=False)
+        registries[class_name] = registry
+    kernel.registries.update(registries)
+    for name in sorted(entries):
+        _open_accelerators(opener, registries, entries[name],
+                           kernel.get(name))
+    return kernel
+
+
+def _check_manifest(manifest):
+    if manifest.get("format") != FORMAT:
+        raise CatalogError("not a %s manifest (format=%r)"
+                           % (FORMAT, manifest.get("format")))
+    if not isinstance(manifest.get("version"), int) \
+            or manifest["version"] > VERSION:
+        raise CatalogError("manifest version %r is not supported "
+                           "(this build reads <= %d)"
+                           % (manifest.get("version"), VERSION))
+    for key in ("alignment_groups", "var_heaps", "bats"):
+        if key not in manifest:
+            raise CatalogError("manifest misses required key %r" % key)
+
+
+def _token_of(tokens, index):
+    if index is None:
+        return None
+    if not isinstance(index, int) or not 0 <= index < len(tokens):
+        raise CatalogError("alignment group %r out of range" % (index,))
+    return tokens[index]
+
+
+def _open_props(flags):
+    unknown = [flag for flag in flags if flag not in _PROP_FLAGS]
+    if unknown:
+        raise CatalogError("unknown property flags %r in manifest"
+                           % (unknown,))
+    return Props(**{flag: True for flag in flags})
+
+
+def _read_spec_array(backend, spec):
+    try:
+        return backend.read_array(spec["file"], spec["dtype"],
+                                  spec["length"])
+    except KeyError as exc:
+        raise CatalogError("column spec misses key %s" % exc) from None
+
+
+def _note_mapped(heap, *arrays):
+    mapped = tuple(array for array in arrays
+                   if isinstance(array, np.memmap))
+    if mapped:
+        heap.mapped = mapped
+
+
+class _Opener:
+    """Column/heap reader that de-duplicates shared var heaps."""
+
+    def __init__(self, backend, var_specs):
+        self.backend = backend
+        self.var_specs = var_specs
+        self._heaps = {}
+
+    def column(self, spec):
+        kind = spec.get("kind")
+        if kind == "void":
+            return VoidColumn(spec["seqbase"], spec["length"])
+        if kind == "fixed":
+            data = _read_spec_array(self.backend, spec)
+            column = FixedColumn(_atoms.atom(spec["atom"]), data,
+                                 label=spec.get("label", ""))
+            _note_mapped(column._heap, column.data)
+            return column
+        if kind == "var":
+            indices = _read_spec_array(self.backend, spec)
+            heap = self.var_heap(spec["heap"])
+            column = VarColumn(_atoms.atom(spec["atom"]), indices, heap,
+                               label=spec.get("label", ""))
+            _note_mapped(column._index_heap, column.indices)
+            return column
+        raise CatalogError("unknown column kind %r in manifest" % (kind,))
+
+    def var_heap(self, key):
+        heap = self._heaps.get(key)
+        if heap is not None:
+            return heap
+        spec = self.var_specs.get(key)
+        if spec is None:
+            raise CatalogError("var heap %r missing from manifest" % key)
+        offsets = self.backend.read_array(spec["offsets"], "<i8",
+                                          spec["count"] + 1)
+        body = self.backend.read_array(spec["body"], "|u1",
+                                       spec["body_bytes"])
+        heap = MappedVarHeap(offsets, body, label=spec.get("label", ""))
+        self._heaps[key] = heap
+        return heap
+
+
+def _open_accelerators(opener, registries, entry, bat):
+    accel = entry.get("accel")
+    if not accel:
+        return
+    vector_spec = accel.get("datavector")
+    if vector_spec is not None:
+        registry = registries.get(vector_spec["class"])
+        if registry is None:
+            raise CatalogError(
+                "BAT %r references unknown datavector class %r"
+                % (bat.name, vector_spec["class"]))
+        vector = opener.column(vector_spec["vector"])
+        for heap in vector.heaps:
+            heap.persistent = True
+        bat.accel["datavector"] = DataVector(registry, vector)
+    for slot in ("hash", "hash_tail"):
+        spec = accel.get(slot)
+        if spec is None:
+            continue
+        order = opener.backend.read_array(spec["order"], "<i8",
+                                          spec["length"])
+        keys = opener.backend.read_array(spec["keys"], spec["dtype"],
+                                         spec["length"])
+        index = HashIndex(MultiMap.from_sorted(order, keys),
+                          label=spec.get("label", ""))
+        _note_mapped(index.heap, order, keys)
+        index.heap.persistent = True
+        bat.accel[slot] = index
+
+
+# ----------------------------------------------------------------------
+# real-pager residency (Linux)
+# ----------------------------------------------------------------------
+def _smaps_rss_by_path():
+    """path -> Rss bytes of this process's file mappings.
+
+    One ``/proc/self/smaps`` parse covering every mapping (Linux);
+    returns ``None`` when the accounting is unavailable.  This counts
+    the pages our mappings actually faulted in — unlike ``mincore``,
+    which reports page-cache residency and so counts pages cached by
+    the writer too.
+    """
+    try:
+        with open("/proc/self/smaps") as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return None
+    totals = {}
+    current = None
+    for line in lines:
+        fields = line.split(None, 5)
+        first = fields[0] if fields else ""
+        if "-" in first and all(c in "0123456789abcdef-" for c in first):
+            # mapping header: "start-end perms offset dev inode [path]"
+            current = fields[5] if len(fields) == 6 else None
+        elif current is not None and line.startswith("Rss:"):
+            totals[current] = totals.get(current, 0) \
+                + int(line.split()[1]) * 1024
+    return totals
+
+
+def mapped_file_rss(path, rss_table=None):
+    """Bytes of ``path`` faulted into *this* process's mappings.
+
+    Pass a precomputed :func:`_smaps_rss_by_path` table when querying
+    many files — each fresh parse walks every VMA of the process.
+    """
+    if path is None:
+        return None
+    if rss_table is None:
+        rss_table = _smaps_rss_by_path()
+    if rss_table is None:
+        return None
+    return rss_table.get(os.path.abspath(path), 0)
+
+
+def resident_page_count(array, page_size=PAGESIZE):
+    """Pages of a mapped array resident in memory, via ``mincore``.
+
+    Reports page-cache residency of the mapped range; returns ``None``
+    when ``mincore`` is unavailable (non-POSIX platforms).
+    """
+    import ctypes
+    array = np.asanyarray(array)
+    if array.nbytes == 0:
+        return 0
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        mincore = libc.mincore
+    except (OSError, AttributeError):
+        return None
+    address = array.__array_interface__["data"][0]
+    start = address - (address % page_size)
+    length = array.nbytes + (address - start)
+    n_pages = -(-length // page_size)
+    vec = (ctypes.c_ubyte * n_pages)()
+    result = mincore(ctypes.c_void_p(start), ctypes.c_size_t(length), vec)
+    if result != 0:
+        return None
+    return int(sum(byte & 1 for byte in vec))
+
+
+def iter_catalog_heaps(kernel):
+    """Every distinct heap behind the catalog, accelerators included."""
+    seen = set()
+    for name in kernel.names():
+        bat = kernel.get(name)
+        for column in (bat.head, bat.tail):
+            for heap in column.heaps:
+                if heap.heap_id not in seen:
+                    seen.add(heap.heap_id)
+                    yield heap
+        vector = bat.accel.get("datavector")
+        if vector is not None:
+            for heap in vector.vector.heaps:
+                if heap.heap_id not in seen:
+                    seen.add(heap.heap_id)
+                    yield heap
+        for slot in ("hash", "hash_tail"):
+            index = bat.accel.get(slot)
+            if index is not None and index.heap.heap_id not in seen:
+                seen.add(index.heap.heap_id)
+                yield index.heap
+
+
+def heap_resident_pages(heap, page_size=PAGESIZE, rss_table=None):
+    """Real faulted-in pages of one mmap-backed heap, or ``None``."""
+    arrays = getattr(heap, "mapped", None)
+    if not arrays:
+        return None
+    if rss_table is None:
+        rss_table = _smaps_rss_by_path()
+    total = 0
+    for array in arrays:
+        rss = mapped_file_rss(getattr(array, "filename", None),
+                              rss_table)
+        if rss is None:
+            return None
+        total += rss
+    return total // page_size
+
+
+def residency_snapshot(kernel, page_size=PAGESIZE):
+    """heap_id -> real resident pages, for every mmap-backed heap."""
+    rss_table = _smaps_rss_by_path()
+    snapshot = {}
+    for heap in iter_catalog_heaps(kernel):
+        pages = heap_resident_pages(heap, page_size, rss_table)
+        if pages is not None:
+            snapshot[heap.heap_id] = pages
+    return snapshot
+
+
+def residency_report(kernel, manager, before=None, page_size=PAGESIZE):
+    """Simulated vs real page touches, per mmap-backed heap.
+
+    ``manager`` must be a :class:`~repro.monet.buffer.BufferManager`
+    created with ``track_pages=True`` that accounted the run;
+    ``before`` is an optional :func:`residency_snapshot` taken before
+    the run, subtracted from the real counts.  Returns a list of
+    per-heap dicts plus a totals dict — the validation mode for the
+    Figure 9/10 fault traces.
+    """
+    before = before or {}
+    rss_table = _smaps_rss_by_path()
+    rows = []
+    total_sim = total_real = 0
+    for heap in iter_catalog_heaps(kernel):
+        real = heap_resident_pages(heap, page_size, rss_table)
+        if real is None:
+            continue
+        real_delta = max(0, real - before.get(heap.heap_id, 0))
+        simulated = len(manager.heap_pages.get(heap.heap_id, ()))
+        if real_delta == 0 and simulated == 0:
+            continue
+        total_sim += simulated
+        total_real += real_delta
+        rows.append({
+            "heap_id": heap.heap_id,
+            "label": heap.label,
+            "nbytes": int(heap.nbytes),
+            "simulated_pages": int(simulated),
+            "resident_pages": int(real_delta),
+        })
+    totals = {
+        "simulated_pages": int(total_sim),
+        "resident_pages": int(total_real),
+        "page_size": int(page_size),
+    }
+    return rows, totals

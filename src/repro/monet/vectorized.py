@@ -104,6 +104,31 @@ class MultiMap:
                 self.starts = np.concatenate(
                     ([0], np.cumsum(counts))).astype(np.int64)
 
+    @classmethod
+    def from_sorted(cls, order, sorted_keys):
+        """Rebuild a map from a persisted (order, sorted_keys) pair.
+
+        Skips the argsort entirely — the storage layer saves hash
+        accelerators as exactly these two arrays, so reopening a
+        database re-attaches working indexes without touching the key
+        data.  The direct-address table is *not* rebuilt (it would read
+        every page); probes fall back to binary search until the index
+        is rebuilt from live keys.
+        """
+        self = cls.__new__(cls)
+        self.n_entries = len(order)
+        self.base = None
+        self.starts = None
+        self.table = None
+        self.order = order
+        self.sorted_keys = sorted_keys
+        self._n_matchable = self.n_entries
+        if getattr(sorted_keys, "dtype", None) is not None \
+                and sorted_keys.dtype.kind == "f" and self.n_entries:
+            self._n_matchable = int(np.searchsorted(
+                sorted_keys, np.inf, side="right"))
+        return self
+
     @property
     def vectorised(self):
         return self.table is None

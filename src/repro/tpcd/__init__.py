@@ -10,7 +10,8 @@ comparator.
 """
 
 from .dbgen import CURRENT_DATE, TPCDDataset, generate
-from .loader import LoadReport, load_tpcd
+from .loader import (LoadReport, load_tpcd, open_tpcd, peek_tpcd_meta,
+                     save_tpcd)
 from .queries import QUERIES, TPCDQuery
 from .reference import REFERENCES, reference
 from .rowstore import RowStore
@@ -18,7 +19,8 @@ from .schema import tpcd_schema
 
 __all__ = [
     "CURRENT_DATE", "TPCDDataset", "generate",
-    "LoadReport", "load_tpcd",
+    "LoadReport", "load_tpcd", "open_tpcd", "peek_tpcd_meta",
+    "save_tpcd",
     "QUERIES", "TPCDQuery",
     "REFERENCES", "reference",
     "RowStore",

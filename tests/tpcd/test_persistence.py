@@ -1,0 +1,132 @@
+"""TPC-D persistence: save -> reopen -> identical query answers.
+
+The acceptance contract of the storage layer at database scale: a
+TPC-D kernel saved with ``MonetKernel.save`` and reopened with
+``MonetKernel.open`` answers every implemented query with results
+identical to the freshly-loaded kernel, with base-BAT columns served
+as ``np.memmap`` views and *no full-file eager read* on open (checked
+through the real pager: a fresh mapping has zero resident pages until
+a query touches it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.monet import MonetKernel
+from repro.monet.column import FixedColumn, VarColumn
+from repro.monet.storage import residency_snapshot
+from repro.tpcd import (QUERIES, load_tpcd, open_tpcd, peek_tpcd_meta,
+                        tpcd_schema)
+
+
+@pytest.fixture(scope="module")
+def saved_db_dir(tiny_tpcd, tiny_tpcd_db, tmp_path_factory):
+    db_dir = tmp_path_factory.mktemp("tpcd") / "db"
+    from repro.tpcd import save_tpcd
+    save_tpcd(tiny_tpcd_db, db_dir, tiny_tpcd)
+    return db_dir
+
+
+def test_reopened_db_answers_all_queries_identically(tiny_tpcd_db,
+                                                     saved_db_dir):
+    reopened, report = open_tpcd(saved_db_dir)
+    assert report.warm
+    for number in sorted(QUERIES):
+        fresh = QUERIES[number].run(tiny_tpcd_db)
+        warm = QUERIES[number].run(reopened)
+        assert warm == fresh, "Q%d differs after reopen" % number
+
+
+def test_reopen_serves_memmap_views_without_eager_read(saved_db_dir):
+    reopened, _report = open_tpcd(saved_db_dir)
+    kernel = reopened.kernel
+    checked_fixed = checked_var = 0
+    for name in kernel.names():
+        bat = kernel.get(name)
+        for column in (bat.head, bat.tail):
+            if isinstance(column, FixedColumn):
+                assert isinstance(column.data, np.memmap), \
+                    "%s is not memmap-backed" % name
+                checked_fixed += 1
+            elif isinstance(column, VarColumn):
+                assert isinstance(column.indices, np.memmap), name
+                assert not column.heap.decoded, \
+                    "%s decoded its var heap eagerly" % name
+                checked_var += 1
+    assert checked_fixed > 10 and checked_var > 5
+
+    # the real pager agrees: nothing was faulted in by the open...
+    snapshot = residency_snapshot(kernel)
+    if not snapshot:
+        pytest.skip("smaps residency accounting unavailable")
+    assert all(pages == 0 for pages in snapshot.values())
+    # ...until a query actually runs
+    QUERIES[1].run(reopened)
+    after = residency_snapshot(kernel)
+    assert sum(after.values()) > 0
+
+
+def test_simulated_fault_traces_survive_reopen(tiny_tpcd_db,
+                                               saved_db_dir):
+    """The Figure 9 fault simulation is invariant under persistence.
+
+    Depends on the reopen re-sharing heaps exactly as the load built
+    them (e.g. the datavector registry extent must be the extent BAT's
+    head heap, not a second mapping of the same oids)."""
+    from repro.bench.harness import measure_query_faults
+    reopened, _report = open_tpcd(saved_db_dir)
+    for number in sorted(QUERIES):
+        fresh = measure_query_faults(tiny_tpcd_db, QUERIES[number])
+        warm = measure_query_faults(reopened, QUERIES[number])
+        assert warm == fresh, \
+            "Q%d fault trace changed after reopen (%d != %d)" \
+            % (number, warm, fresh)
+
+
+def test_load_tpcd_db_dir_caches_and_warm_starts(tiny_tpcd, tmp_path):
+    db_dir = tmp_path / "cache"
+    cold_db, cold_report = load_tpcd(tiny_tpcd, db_dir=db_dir)
+    assert not cold_report.warm
+    meta = peek_tpcd_meta(db_dir)
+    assert meta is not None
+    assert meta["scale"] == tiny_tpcd.scale
+    assert meta["seed"] == tiny_tpcd.seed
+    assert meta["counts"]["item"] == tiny_tpcd.counts["item"]
+
+    warm_db, warm_report = load_tpcd(tiny_tpcd, db_dir=db_dir)
+    assert warm_report.warm
+    assert warm_report.total_s < cold_report.total_s
+    assert QUERIES[13].run(warm_db) == QUERIES[13].run(cold_db)
+    # the logical store is re-attached, so the Figure 6 commute check
+    # (physical vs reference evaluator) still works on a warm start
+    assert warm_db.flat.data is tiny_tpcd.data
+    warm_db.check_commutes(QUERIES[13].texts()[0])
+
+
+def test_mismatched_cache_is_ignored(tiny_tpcd, tmp_path):
+    db_dir = tmp_path / "cache"
+    load_tpcd(tiny_tpcd, db_dir=db_dir)
+    from repro.tpcd import generate
+    other = generate(scale=tiny_tpcd.scale, seed=tiny_tpcd.seed + 1)
+    _db, report = load_tpcd(other, db_dir=db_dir)
+    assert not report.warm                 # seed mismatch -> cold load
+    assert peek_tpcd_meta(db_dir)["seed"] == other.seed
+
+
+def test_catalog_sizes_survive_reopen(tiny_tpcd_db, saved_db_dir):
+    reopened, report = open_tpcd(saved_db_dir)
+    assert reopened.kernel.total_bytes() == \
+        tiny_tpcd_db.kernel.total_bytes()
+    assert report.base_bytes > 0
+    assert report.vector_bytes > 0
+    assert sorted(reopened.kernel.registries) == \
+        sorted(tiny_tpcd_db.kernel.registries)
+    schema = tpcd_schema()
+    assert set(reopened.kernel.registries) == set(schema.classes)
+
+
+def test_open_missing_dir_raises(tmp_path):
+    from repro.errors import CatalogError
+    with pytest.raises(CatalogError):
+        open_tpcd(tmp_path / "not-there")
+    assert peek_tpcd_meta(tmp_path / "not-there") is None
