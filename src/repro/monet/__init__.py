@@ -9,7 +9,7 @@ simulated virtual-memory pager with page-fault accounting, and the MIL
 program representation + interpreter.
 """
 
-from . import atoms, operators
+from . import atoms, operators, parallel
 from .atoms import Atom, atom
 from .bat import (BAT, bat_dense_head, bat_from_columns_values,
                   bat_from_pairs, concat_bats, empty_bat)
@@ -23,11 +23,12 @@ from .storage import (HeapStorage, MemoryBackend, MmapBackend,
                       save_kernel)
 from .mil import MILInterpreter, MILProgram, MILStmt, MILTrace, Var
 from .optimizer import Optimizer, dispatch_disabled, get_optimizer
+from .parallel import ParallelConfig
 from .properties import Props, compute_props, synced, verify
 
 __all__ = [
-    "atoms", "operators",
-    "Atom", "atom",
+    "atoms", "operators", "parallel",
+    "Atom", "atom", "ParallelConfig",
     "BAT", "bat_dense_head", "bat_from_columns_values", "bat_from_pairs",
     "concat_bats", "empty_bat",
     "BufferManager", "get_manager", "set_manager", "use",

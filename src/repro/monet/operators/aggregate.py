@@ -20,7 +20,7 @@ from .. import atoms as _atoms
 from ..buffer import get_manager
 from ..column import FixedColumn, equality_keys
 from ..properties import Props
-from ..vectorized import grouped_sum, membership_mask
+from ..vectorized import grouped_sum, grouped_weighted_sum, membership_mask
 from .common import result_bat
 
 AGGREGATES = ("sum", "count", "avg", "min", "max")
@@ -60,6 +60,9 @@ def set_aggregate(func, ab, name=None):
 
 
 def _grouped(func, tail_col, inverse, n_groups):
+    # the sum kernels (grouped_sum / grouped_weighted_sum) self-chunk
+    # under an installed ParallelConfig: per-chunk partials are added
+    # in chunk order, exact for integers and deterministic for floats
     if func == "count":
         counts = np.bincount(inverse, minlength=n_groups)
         return FixedColumn(_atoms.LONG, counts.astype(np.int64))
@@ -75,15 +78,14 @@ def _grouped(func, tail_col, inverse, n_groups):
             if bound >= 2 ** 53:
                 return FixedColumn(atom, grouped_sum(values, inverse,
                                                      n_groups))
-            sums = np.bincount(inverse, weights=values,
-                               minlength=n_groups)
+            sums = grouped_weighted_sum(inverse, values, n_groups)
             return FixedColumn(atom, sums.astype(atom.dtype))
         values = np.asarray(tail_col.logical(), dtype=np.float64)
-        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        sums = grouped_weighted_sum(inverse, values, n_groups)
         return FixedColumn(atom, sums.astype(atom.dtype))
     if func == "avg":
         values = np.asarray(tail_col.logical(), dtype=np.float64)
-        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        sums = grouped_weighted_sum(inverse, values, n_groups)
         counts = np.bincount(inverse, minlength=n_groups)
         return FixedColumn(_atoms.DOUBLE, sums / np.maximum(counts, 1))
     # min / max via order ranks so strings work too

@@ -27,7 +27,8 @@ from ..buffer import get_manager
 from ..column import column_from_values, equality_keys
 from ..optimizer import get_optimizer
 from ..properties import Props
-from ..vectorized import combine_codes, joint_codes
+from ..vectorized import (combine_codes_pair, joint_codes,
+                          merge_match_segments)
 from .common import build_multimap, require_nonempty_signature, result_bat
 
 
@@ -46,6 +47,17 @@ def join(ab, cd, name=None):
     return _hashjoin(ab, cd, name)
 
 
+def _probe_map(ab, cd, index=None):
+    """(probe keys, MultiMap) for matching ``ab.tail`` against
+    ``cd.head`` — the one place the key extraction and
+    accelerator-vs-fresh-multimap choice lives, shared by
+    :func:`join_positions` and the hashjoin operator."""
+    left_keys, right_keys = equality_keys(ab.tail, cd.head)
+    if index is not None:
+        return left_keys, index.map
+    return left_keys, build_multimap(right_keys)
+
+
 def join_positions(ab, cd, index=None):
     """(left_positions, right_positions) of every matching BUN pair.
 
@@ -54,8 +66,7 @@ def join_positions(ab, cd, index=None):
     accelerator on ``cd``'s head is passed as ``index`` its sort
     permutation is reused instead of building a fresh multimap.
     """
-    left_keys, right_keys = equality_keys(ab.tail, cd.head)
-    multimap = index if index is not None else build_multimap(right_keys)
+    left_keys, multimap = _probe_map(ab, cd, index)
     return multimap.match(left_keys)
 
 
@@ -131,8 +142,11 @@ def _composite_codes(lefts, left_gather, rights, right_gather):
         if total_left is None:
             total_left, total_right = lcodes, rcodes
         else:
-            total_left = combine_codes(total_left, lcodes, n + 1)
-            total_right = combine_codes(total_right, rcodes, n + 1)
+            # the pair form keeps the two sides jointly coded even when
+            # the mixed-radix product would overflow int64 on wide
+            # composite keys (it then factorises the pairs jointly)
+            total_left, total_right, _domain = combine_codes_pair(
+                total_left, lcodes, total_right, rcodes, n + 1)
             total_left, total_right, _n = joint_codes(
                 total_left, total_right)
     return total_left, total_right
@@ -198,6 +212,12 @@ def _mergejoin(ab, cd, name):
 
 
 def _hashjoin(ab, cd, name):
+    # the chunked parallel path splits the probe side into horizontal
+    # ranges (ParallelConfig size threshold; see repro.monet.parallel)
+    # and matches them on the worker pool; segments merge in chunk
+    # order, so the BUN output is identical to the serial probe, and
+    # the per-chunk gathers are accounted through the union-dedup
+    # buffer call so the fault trace is identical too
     manager = get_manager()
     with manager.operator("join.hashjoin"):
         manager.access_column(ab.tail)
@@ -208,7 +228,16 @@ def _hashjoin(ab, cd, name):
                 and "hash" in cd.accel:
             index = hash_of(cd, "head")
             manager.access_heap(index.heap)
-        left_pos, right_pos = join_positions(ab, cd, index=index)
-        manager.access_column(ab.head, left_pos)
-        manager.access_column(cd.tail, right_pos)
+        left_keys, multimap = _probe_map(ab, cd, index)
+        segments = multimap.match_chunks(left_keys)
+        if segments is None:
+            left_pos, right_pos = multimap.match(left_keys)
+            manager.access_column(ab.head, left_pos)
+            manager.access_column(cd.tail, right_pos)
+        else:
+            left_pos, right_pos = merge_match_segments(segments)
+            manager.access_column_chunks(
+                ab.head, [seg[2] for seg in segments])
+            manager.access_column_chunks(
+                cd.tail, [seg[3] for seg in segments])
     return _finish(ab, cd, left_pos, right_pos, name)

@@ -18,9 +18,18 @@ contiguous arrays instead of per-BUN Python set probes.  Object-dtype
 keys (never produced by the column layouts, which compare var atoms on
 heap indices) fall back to the tuple-and-set path.
 
-NaN tails compare *equal to each other* here (``np.unique`` identity
-semantics, matching SQL ``DISTINCT``) — unlike the join/semijoin
-kernels, where NaN keys follow IEEE semantics and never match.
+NaN tails follow IEEE semantics, exactly like the join/semijoin
+kernels and the tuple-and-set reference: a NaN equals nothing, itself
+included, so a BUN with a NaN tail is never a duplicate, never a
+member of the other operand, and survives ``unique`` untouched.  (The
+coded paths used to inherit ``np.unique``'s ``equal_nan`` collapse,
+which silently diverged from the naive kernels; :func:`factorize` now
+assigns every NaN key its own code.)
+
+Membership and dedup scans self-chunk under an installed
+:class:`~repro.monet.parallel.ParallelConfig` — the direct-address (or
+sorted) right side is built once and probed per chunk — with chunk
+masks merged in plan order, so parallel results are BUN-identical.
 """
 
 import numpy as np
@@ -28,8 +37,9 @@ import numpy as np
 from ..buffer import get_manager
 from ..column import equality_keys
 from ..optimizer import get_optimizer
-from ..vectorized import (combine_codes, factorize, first_occurrence,
-                          joint_codes, membership_mask)
+from ..vectorized import (combine_codes, combine_codes_pair, factorize,
+                          first_occurrence, joint_codes,
+                          membership_mask)
 from .common import take_subsequence
 from .semijoin import antijoin, semijoin
 from ..bat import concat_bats
@@ -58,9 +68,10 @@ def _bun_codes(ab, cd=None):
                 max(1, n_h) * max(1, n_t))
     h_left, h_right, n_h = joint_codes(hk_a, hk_c)
     t_left, t_right, n_t = joint_codes(tk_a, tk_c)
-    return (combine_codes(h_left, t_left, n_t),
-            combine_codes(h_right, t_right, n_t),
-            max(1, n_h) * max(1, n_t))
+    # the pair form keeps both operands jointly coded even when the
+    # head x tail product would overflow int64 (wide offset-coded
+    # domains); its returned domain bound is also the tighter one
+    return combine_codes_pair(h_left, t_left, h_right, t_right, n_t)
 
 
 def _pair_keys(ab, cd=None):

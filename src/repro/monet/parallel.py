@@ -1,0 +1,185 @@
+"""Chunked parallel execution of the vectorised kernels.
+
+The paper's performance argument rests on every operator running as a
+tight loop over contiguous arrays; this layer is the multi-core
+continuation of that argument.  A BAT's position range is split into
+*horizontal chunks* sized to a fixed byte budget (a fraction of L2 — a
+handful of the pager's 4 KB pages), and the per-chunk kernel work is
+fanned over a thread pool.  numpy releases the GIL inside the hot
+primitives (``argsort``, ``searchsorted``, ``isin``/``unique``,
+``reduceat``, ``bincount``), so chunks genuinely run concurrently on
+multi-core hosts while the Python layer only plans and merges.
+
+Determinism contract
+--------------------
+
+* The chunk **plan** depends only on ``chunk_bytes`` and the operand
+  size — never on the worker count.
+* Every chunk-aware kernel merges its per-chunk results **in chunk
+  order** (left-major order preserved).
+
+Together these make results bit-identical across worker counts: a
+``workers=1`` run and a ``workers=4`` run execute the same chunks and
+the same merges, so the CI equality gate can diff them byte for byte.
+
+The layer is **off by default** (``get_config()`` is ``None``): the
+serial kernels run unchanged, and fault-simulation traces — including
+``--validate`` runs against the real pager — stay exactly those of the
+single-threaded execution.  Operators account their page touches from
+the calling thread only (see
+:meth:`~repro.monet.buffer.BufferManager.access_positions_chunks`),
+so enabling the layer never changes a Figure 9/10 fault trace either.
+"""
+
+import contextlib
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES", "DEFAULT_MIN_ROWS", "ParallelConfig",
+    "get_config", "set_config", "use", "plan_chunks", "chunk_plan",
+    "run_chunks", "shutdown_pools",
+]
+
+#: Default horizontal chunk budget: 64 KiB of key bytes per chunk —
+#: 16 pager pages, comfortably inside one L2 slice, and large enough
+#: that the per-task pool overhead stays well under the kernel time.
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+#: Below this many rows an operand is never chunked: thread hand-off
+#: costs more than the whole serial kernel.
+DEFAULT_MIN_ROWS = 4096
+
+
+class ParallelConfig:
+    """Execution policy for the chunked kernels.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size.  ``None`` picks ``os.cpu_count()`` (capped at
+        8).  ``workers=1`` still *chunks* — the plan and merges are
+        identical to any other worker count — but runs the chunks in
+        the calling thread, which is what the determinism gate diffs
+        against.
+    chunk_bytes:
+        Byte budget per horizontal chunk; the planner converts it to a
+        row count per operand width.  This is the only knob the chunk
+        plan depends on.
+    min_rows:
+        Size threshold: operands smaller than this stay on the serial
+        kernels even when the layer is installed.
+    """
+
+    __slots__ = ("workers", "chunk_bytes", "min_rows")
+
+    def __init__(self, workers=None, chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 min_rows=DEFAULT_MIN_ROWS):
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        self.workers = max(1, int(workers))
+        self.chunk_bytes = max(1, int(chunk_bytes))
+        self.min_rows = max(1, int(min_rows))
+
+    def plan(self, n_rows, width=8):
+        """Chunk ranges for ``n_rows`` entries of ``width`` bytes.
+
+        Returns ``None`` when the operand is below the size threshold
+        or fits in a single chunk (then the serial kernel is the right
+        tool); otherwise a list of ``(lo, hi)`` half-open ranges that
+        partition ``range(n_rows)`` in ascending order.
+        """
+        if n_rows < self.min_rows:
+            return None
+        rows = max(1, self.chunk_bytes // max(1, int(width)))
+        if n_rows <= rows:
+            return None
+        return plan_chunks(n_rows, rows)
+
+    def __repr__(self):
+        return ("ParallelConfig(workers=%d, chunk_bytes=%d, min_rows=%d)"
+                % (self.workers, self.chunk_bytes, self.min_rows))
+
+
+def plan_chunks(n_rows, rows_per_chunk):
+    """``(lo, hi)`` ranges of ``rows_per_chunk`` covering ``n_rows``."""
+    rows_per_chunk = max(1, int(rows_per_chunk))
+    return [(lo, min(lo + rows_per_chunk, n_rows))
+            for lo in range(0, int(n_rows), rows_per_chunk)]
+
+
+#: The installed config; ``None`` = layer off, serial kernels only.
+_current = None
+
+_pools = {}
+_pool_lock = threading.Lock()
+
+
+def get_config():
+    """The active :class:`ParallelConfig`, or ``None`` when disabled."""
+    return _current
+
+
+def set_config(config):
+    """Install ``config`` globally (``None`` disables the layer)."""
+    global _current
+    _current = config
+
+
+@contextlib.contextmanager
+def use(config):
+    """Context manager installing ``config`` for the duration."""
+    global _current
+    previous = _current
+    _current = config
+    try:
+        yield config
+    finally:
+        _current = previous
+
+
+def chunk_plan(n_rows, width=8):
+    """The active config's chunk plan for an operand, or ``None``.
+
+    This is the single gate every chunk-aware kernel asks: ``None``
+    means "stay serial" (layer off, operand too small, or one chunk).
+    """
+    config = _current
+    if config is None:
+        return None
+    return config.plan(n_rows, width)
+
+
+def _pool(workers):
+    with _pool_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = _pools[workers] = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-chunk")
+        return pool
+
+
+def shutdown_pools():
+    """Join and drop every cached worker pool (test hygiene)."""
+    with _pool_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+def run_chunks(fn, plan):
+    """``[fn(lo, hi) for lo, hi in plan]``, fanned over the pool.
+
+    Results come back **in plan order** regardless of completion
+    order, so merges by concatenation preserve left-major order.  With
+    ``workers=1`` (or a single chunk) the chunks run inline in the
+    calling thread — same plan, same merge, no pool.
+    """
+    config = _current
+    if config is None or config.workers <= 1 or len(plan) <= 1:
+        return [fn(lo, hi) for lo, hi in plan]
+    pool = _pool(config.workers)
+    return list(pool.map(lambda chunk: fn(chunk[0], chunk[1]), plan))

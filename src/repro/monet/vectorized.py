@@ -27,13 +27,32 @@ fallback only triggers for exotic key arrays), and each fast path is
 BUN-for-BUN order-identical to the naive implementation it replaced:
 left-major match order, ascending inner positions per key,
 first-occurrence semantics for deduplication.
+
+NaN keys follow IEEE semantics *everywhere*: a NaN never equals
+anything, itself included — matching both the clipped-prefix probes of
+:class:`MultiMap` and the dict references (Python dicts treat distinct
+NaN objects as distinct keys).  The coded paths enforce this by
+masking NaN keys to their own fresh codes instead of letting
+``np.unique`` collapse them (its ``equal_nan`` default).
+
+When a :class:`~repro.monet.parallel.ParallelConfig` is installed, the
+probe/scan side of each kernel is split into horizontal chunks and
+fanned over the worker pool; per-chunk results are merged in chunk
+order, so chunked output is BUN-identical to the serial kernel's (for
+the position/code kernels) and bit-identical across worker counts (for
+every kernel, float sums included — the chunk plan never depends on
+the worker count).
 """
 
 import numpy as np
 
+from . import parallel
+
 __all__ = [
     "MultiMap", "join_match", "membership_mask", "factorize",
-    "joint_codes", "combine_codes", "first_occurrence", "grouped_sum",
+    "joint_codes", "combine_codes", "combine_codes_pair",
+    "first_occurrence", "grouped_sum", "grouped_weighted_sum",
+    "grouped_weighted_sum_plan", "merge_match_segments",
 ]
 
 
@@ -172,11 +191,47 @@ class MultiMap:
 
         Returns ``(probe_pos, match_pos)`` int64 arrays in probe-major
         order with ascending match positions per probe — BUN-for-BUN
-        the order the naive dict loop produced.
+        the order the naive dict loop produced.  Under an installed
+        :class:`~repro.monet.parallel.ParallelConfig` the probe side
+        is chunked and matched on the worker pool; segments are merged
+        in chunk order, so output is identical to the serial probe.
         """
         probe_keys = np.asarray(probe_keys)
         if self.table is not None or _is_object(probe_keys):
             return self._match_slow(probe_keys)
+        segments = self.match_chunks(probe_keys)
+        if segments is not None:
+            return merge_match_segments(segments)
+        return self._match_range(probe_keys, 0)
+
+    def match_chunks(self, probe_keys):
+        """Per-chunk match segments under the active parallel config.
+
+        Returns ``[(lo, hi, probe_pos, match_pos), ...]`` — one entry
+        per planned probe chunk, probe positions already rebased to the
+        full probe array — or ``None`` when the parallel layer is off,
+        the probe side is below the size threshold, or either side is
+        dict-backed.  Operators that want per-chunk buffer accounting
+        (see :meth:`BufferManager.access_positions_chunks`) call this
+        directly and merge with :func:`merge_match_segments`.
+        """
+        probe_keys = np.asarray(probe_keys)
+        if self.table is not None or _is_object(probe_keys):
+            return None
+        plan = parallel.chunk_plan(len(probe_keys),
+                                   probe_keys.dtype.itemsize)
+        if plan is None:
+            return None
+
+        def one(lo, hi):
+            probe_pos, match_pos = self._match_range(probe_keys[lo:hi], lo)
+            return (lo, hi, probe_pos, match_pos)
+
+        return parallel.run_chunks(one, plan)
+
+    def _match_range(self, probe_keys, base):
+        """Serial match of one probe slice; probe positions offset by
+        ``base`` so chunk outputs concatenate into the full answer."""
         if self.starts is not None and probe_keys.dtype.kind in "iu":
             lo, hi = self._dense_ranges(probe_keys)
         else:
@@ -190,6 +245,8 @@ class MultiMap:
         total = int(counts.sum())
         probe_pos = np.repeat(
             np.arange(len(probe_keys), dtype=np.int64), counts)
+        if base:
+            probe_pos += base
         if total == 0:
             return probe_pos, np.empty(0, dtype=np.int64)
         # ramp[j] walks lo[i] .. hi[i]-1 for each surviving probe i
@@ -255,6 +312,17 @@ def join_match(left_keys, right_keys):
     return MultiMap(right_keys).match(left_keys)
 
 
+def merge_match_segments(segments):
+    """Merge per-chunk match segments in chunk order (left-major).
+
+    ``segments`` is the list :meth:`MultiMap.match_chunks` returns;
+    concatenating in plan order reproduces exactly the serial
+    probe-major output.
+    """
+    return (np.concatenate([seg[2] for seg in segments]),
+            np.concatenate([seg[3] for seg in segments]))
+
+
 #: A direct-address membership table is used when the (hinted) code
 #: domain stays below this many entries — one transient byte each.
 _TABLE_CAP = 1 << 22
@@ -268,6 +336,12 @@ def membership_mask(left_keys, right_keys, domain=None):
     non-negative codes bounded by ``domain`` (e.g. from
     :func:`joint_codes`) and the domain is compact, a direct-address
     bool table replaces the sort entirely.
+
+    Under an installed parallel config the probe side is chunked: the
+    right side is prepared once (bool table, or one shared sort) and
+    each chunk probes it concurrently; chunk masks concatenate in plan
+    order, identical to the serial mask.  NaN keys are members of
+    nothing on every path (IEEE semantics, like the set reference).
     """
     left_keys = np.asarray(left_keys)
     right_keys = np.asarray(right_keys)
@@ -277,12 +351,27 @@ def membership_mask(left_keys, right_keys, domain=None):
                            dtype=bool, count=len(left_keys))
     if len(right_keys) == 0 or len(left_keys) == 0:
         return np.zeros(len(left_keys), dtype=bool)
+    plan = parallel.chunk_plan(len(left_keys), left_keys.dtype.itemsize)
     if domain is not None and domain <= max(
             _TABLE_CAP, _DENSE_FACTOR * (len(left_keys)
                                          + len(right_keys))):
         table = np.zeros(int(domain), dtype=bool)
         table[right_keys] = True
+        if plan is not None:
+            return np.concatenate(parallel.run_chunks(
+                lambda lo, hi: table[left_keys[lo:hi]], plan))
         return table[left_keys]
+    if plan is not None:
+        sorted_right = np.sort(right_keys)
+        top = len(sorted_right) - 1
+
+        def probe(lo, hi):
+            chunk = left_keys[lo:hi]
+            at = np.searchsorted(sorted_right, chunk, side="left")
+            return (sorted_right[np.minimum(at, top)] == chunk) \
+                & (at <= top)
+
+        return np.concatenate(parallel.run_chunks(probe, plan))
     return np.isin(left_keys, right_keys)
 
 
@@ -292,6 +381,12 @@ def factorize(keys):
     Fixed-width keys get codes in *sorted* distinct-key order (the
     contract the group operators rely on for dense group oids); object
     keys get first-seen codes, which preserves equality but not order.
+
+    NaN keys are **pairwise distinct** (IEEE: NaN != NaN, which is also
+    what the dict reference computes): each NaN row receives its own
+    fresh code after the finite codes, in BUN order — ``np.unique``'s
+    ``equal_nan`` collapse is explicitly undone.  Chunked execution
+    under a parallel config reproduces the serial coding exactly.
     """
     keys = np.asarray(keys)
     if len(keys) == 0:
@@ -305,8 +400,68 @@ def factorize(keys):
                 code = table[key] = len(table)
             codes[pos] = code
         return codes, len(table)
+    plan = parallel.chunk_plan(len(keys), keys.dtype.itemsize)
+    if plan is not None:
+        return _factorize_chunked(keys, plan)
+    if keys.dtype.kind == "f":
+        nan_mask = np.isnan(keys)
+        n_nan = int(nan_mask.sum())
+        if n_nan:
+            uniq, inverse = np.unique(keys[~nan_mask],
+                                      return_inverse=True)
+            codes = np.empty(len(keys), dtype=np.int64)
+            codes[~nan_mask] = inverse
+            codes[nan_mask] = len(uniq) + np.arange(n_nan,
+                                                    dtype=np.int64)
+            return codes, len(uniq) + n_nan
     uniq, inverse = np.unique(keys, return_inverse=True)
     return inverse.astype(np.int64), len(uniq)
+
+
+def _factorize_chunked(keys, plan):
+    """Chunked :func:`factorize`: per-chunk distinct scan, one merged
+    domain, per-chunk coding — identical output to the serial kernel.
+
+    Pass one collects each chunk's distinct finite keys (and NaN
+    count); the merged sorted domain is built once; pass two codes
+    every chunk by binary search into the shared domain.  NaN rows get
+    ``n_finite + (global NaN ordinal)``, with per-chunk ordinal offsets
+    from a serial prefix sum — the same codes the serial kernel
+    assigns in BUN order.
+    """
+    is_float = keys.dtype.kind == "f"
+
+    def distinct(lo, hi):
+        chunk = keys[lo:hi]
+        if is_float:
+            finite = chunk[~np.isnan(chunk)]
+            return np.unique(finite), len(chunk) - len(finite)
+        return np.unique(chunk), 0
+
+    scans = parallel.run_chunks(distinct, plan)
+    uniq = np.unique(np.concatenate([uniq_c for uniq_c, _n in scans]))
+    n_finite = len(uniq)
+    nan_counts = [n for _uniq_c, n in scans]
+    n_nan = sum(nan_counts)
+    nan_offsets = {}
+    running = n_finite
+    for (lo, _hi), count in zip(plan, nan_counts):
+        nan_offsets[lo] = running
+        running += count
+
+    def code(lo, hi):
+        chunk = keys[lo:hi]
+        out = np.searchsorted(uniq, chunk).astype(np.int64)
+        if is_float:
+            mask = np.isnan(chunk)
+            hits = int(mask.sum())
+            if hits:
+                out[mask] = nan_offsets[lo] + np.arange(hits,
+                                                        dtype=np.int64)
+        return out
+
+    codes = np.concatenate(parallel.run_chunks(code, plan))
+    return codes, n_finite + n_nan
 
 
 def joint_codes(left_keys, right_keys):
@@ -345,14 +500,88 @@ def joint_codes(left_keys, right_keys):
     return codes[:n_left], codes[n_left:], n
 
 
+#: Largest combined code representable; beyond it the mixed-radix
+#: arithmetic would wrap and alias distinct pairs.
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _combine_overflows(max_high, n_low):
+    """True when ``high * n_low + low`` can exceed int64 for codes
+    bounded by ``max_high`` / ``n_low`` (checked in Python ints)."""
+    return (int(max_high) + 1) * int(n_low) - 1 > _INT64_MAX
+
+
+def _factorize_pairs(high_codes, low_codes):
+    """(codes, n): dense int64 codes over (high, low) pairs.
+
+    The overflow fallback for :func:`combine_codes`: a lexicographic
+    sort of the pairs plus a run-boundary scan.  Codes come out in
+    sorted (high, low) order — the same order the mixed-radix
+    arithmetic induces — so the fallback changes density, never
+    relative order.
+    """
+    order = np.lexsort((low_codes, high_codes))
+    sorted_high = high_codes[order]
+    sorted_low = low_codes[order]
+    fresh = np.empty(len(order), dtype=bool)
+    fresh[0] = True
+    fresh[1:] = ((sorted_high[1:] != sorted_high[:-1])
+                 | (sorted_low[1:] != sorted_low[:-1]))
+    compact = np.cumsum(fresh) - 1
+    codes = np.empty(len(order), dtype=np.int64)
+    codes[order] = compact
+    return codes, int(compact[-1]) + 1
+
+
 def combine_codes(high_codes, low_codes, n_low):
     """One int64 code per row from two per-column codes.
 
     Equality of the combined code is equality of the (high, low) pair;
-    ``n_low`` bounds the low codes (``max(low) < n_low``).
+    ``n_low`` bounds the low codes (``max(low) < n_low``).  Wide
+    domains that would overflow int64 (offset-coded composites from
+    :func:`joint_codes` can reach ``2**63``) fall back to joint
+    factorization of the pairs — codes from *separate* calls are then
+    no longer comparable, so cross-operand callers must use
+    :func:`combine_codes_pair`.
     """
-    return (np.asarray(high_codes, dtype=np.int64) * max(1, int(n_low))
-            + np.asarray(low_codes, dtype=np.int64))
+    high_codes = np.asarray(high_codes, dtype=np.int64)
+    low_codes = np.asarray(low_codes, dtype=np.int64)
+    n_low = max(1, int(n_low))
+    if len(high_codes) and _combine_overflows(high_codes.max(), n_low):
+        codes, _n = _factorize_pairs(high_codes, low_codes)
+        return codes
+    return high_codes * n_low + low_codes
+
+
+def combine_codes_pair(high_left, low_left, high_right, low_right,
+                       n_low):
+    """Combined (high, low) codes for two operands, jointly coded.
+
+    The cross-operand form of :func:`combine_codes`: equal pairs get
+    equal codes *across* the two operands (the property the set
+    operations compare BUNs with).  Returns ``(left, right, domain)``
+    with every code below ``domain``.  When the mixed-radix product
+    would overflow int64, both operands' pairs are factorised jointly
+    so the shared coding survives the fallback.
+    """
+    high_left = np.asarray(high_left, dtype=np.int64)
+    low_left = np.asarray(low_left, dtype=np.int64)
+    high_right = np.asarray(high_right, dtype=np.int64)
+    low_right = np.asarray(low_right, dtype=np.int64)
+    n_low = max(1, int(n_low))
+    max_high = 0
+    for side in (high_left, high_right):
+        if len(side):
+            max_high = max(max_high, int(side.max()))
+    if _combine_overflows(max_high, n_low):
+        n_left = len(high_left)
+        codes, n = _factorize_pairs(
+            np.concatenate([high_left, high_right]),
+            np.concatenate([low_left, low_right]))
+        return codes[:n_left], codes[n_left:], n
+    return (high_left * n_low + low_left,
+            high_right * n_low + low_right,
+            (max_high + 1) * n_low)
 
 
 def first_occurrence(codes):
@@ -375,13 +604,102 @@ def grouped_sum(values, codes, n_groups):
     ``0..n_groups-1`` must be non-empty — which holds for codes coming
     from :func:`factorize` — because ``np.add.reduceat`` returns the
     *element* (not 0) at a repeated boundary.
+
+    Chunked execution computes per-chunk partial sums (scattered into
+    full-width group vectors) and adds the partials in chunk order:
+    exact and identical to the serial kernel for integer dtypes, and
+    bit-identical across worker counts for floats.
     """
     values = np.asarray(values)
     if n_groups == 0:
         return np.zeros(0, dtype=values.dtype)
     codes = np.asarray(codes, dtype=np.int64)
+    plan = parallel.chunk_plan(len(values),
+                               values.dtype.itemsize + codes.dtype.itemsize)
+    if plan is not None and _partials_worthwhile(n_groups, len(values),
+                                                 len(plan)):
+        partials = parallel.run_chunks(
+            lambda lo, hi: _grouped_sum_scatter(values[lo:hi],
+                                                codes[lo:hi], n_groups),
+            plan)
+        total = partials[0]
+        for partial in partials[1:]:
+            total = total + partial
+        return total
     order = np.argsort(codes, kind="stable")
     starts = np.searchsorted(codes[order],
                              np.arange(n_groups, dtype=np.int64),
                              side="left")
     return np.add.reduceat(values[order], starts)
+
+
+def _partials_worthwhile(n_groups, n_rows, n_chunks):
+    """Gate on the chunked-sum merge cost.
+
+    Every chunk materialises a full-width ``n_groups`` partial and the
+    serial merge adds them all, so the parallel path costs
+    ``O(n_chunks * n_groups)`` time and memory *on top of* the row
+    work.  That only pays off while the partials stay small next to
+    the input; for high-cardinality groupings (worst case: near-unique
+    keys, ``n_groups ~ n_rows``) it would dwarf the serial
+    argsort/bincount kernel — stay serial there.  The gate depends
+    only on plan and operand shape, never the worker count, so it
+    keeps results bit-identical across worker counts.
+    """
+    return n_groups * n_chunks <= 4 * n_rows
+
+
+def _grouped_sum_scatter(values, codes, n_groups):
+    """One chunk's per-group partial sums, scattered into a
+    full-width vector (groups absent from the chunk stay 0)."""
+    out = np.zeros(n_groups, dtype=values.dtype)
+    if len(values) == 0:
+        return out
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    starts = np.nonzero(
+        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])[0]
+    out[sorted_codes[starts]] = np.add.reduceat(values[order], starts)
+    return out
+
+
+def grouped_weighted_sum_plan(n_rows, n_groups):
+    """The chunk plan :func:`grouped_weighted_sum` would execute under
+    the active parallel config, or ``None`` when it stays serial.
+
+    The single source of truth for the kernel's own dispatch — and the
+    public probe the bench sweep uses to check that its chunk sizing
+    really engages the chunked path (instead of re-deriving the
+    internal gates and silently desynchronizing from them).
+    """
+    # int64 codes + float64 weights: 16 bytes per row
+    plan = parallel.chunk_plan(n_rows, 16)
+    if plan is None or not _partials_worthwhile(n_groups, n_rows,
+                                                len(plan)):
+        return None
+    return plan
+
+
+def grouped_weighted_sum(codes, weights, n_groups):
+    """Float per-group sums — the ``np.bincount`` aggregation kernel.
+
+    The chunk-aware variant the aggregate operator dispatches onto for
+    float sums and averages: per-chunk ``bincount`` partials are added
+    in chunk order.  For a fixed chunk plan the result is bit-identical
+    across worker counts (the merge order never changes); the chunked
+    association may differ from the serial single-pass ``bincount`` by
+    float rounding, which is within the operator's contract.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    plan = grouped_weighted_sum_plan(len(codes), n_groups)
+    if plan is None:
+        return np.bincount(codes, weights=weights, minlength=n_groups)
+    partials = parallel.run_chunks(
+        lambda lo, hi: np.bincount(codes[lo:hi], weights=weights[lo:hi],
+                                   minlength=n_groups),
+        plan)
+    total = partials[0]
+    for partial in partials[1:]:
+        total = total + partial
+    return total

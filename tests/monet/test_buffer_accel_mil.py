@@ -69,6 +69,57 @@ def test_memory_budget_spills_and_refaults():
     assert manager.faults == 1
 
 
+def test_evict_heap_spills_transients_regression():
+    """Q1's "save intermediate results to disk": an explicitly evicted
+    transient heap must *fault* when re-touched, exactly like pages
+    evicted under memory pressure — it used to be dropped from the
+    resident set without joining the spill set, making the re-read
+    free."""
+    import numpy as np
+    manager = BufferManager(page_size=4096)
+    transient = FixedHeap(np.zeros(4 * 1024, dtype=np.int32), 4)
+    manager.access_heap(transient)       # fresh intermediate: writes
+    assert manager.faults == 0
+    manager.evict_heap(transient)
+    assert manager.evictions == 4
+    manager.access_heap(transient)       # re-read after the spill
+    assert manager.faults == 4
+
+
+def test_evict_heap_only_targets_one_heap():
+    import numpy as np
+    manager = BufferManager(page_size=4096)
+    victim = FixedHeap(np.zeros(2 * 1024, dtype=np.int32), 4)
+    bystander = _persistent_heap(4096 * 2)
+    manager.access_heap(victim)
+    manager.access_heap(bystander)
+    faults = manager.faults
+    manager.evict_heap(victim)
+    manager.access_heap(bystander)       # still resident: hits only
+    assert manager.faults == faults
+    assert manager.hits == 2
+    manager.access_heap(victim)          # spilled: faults back in
+    assert manager.faults == faults + 2
+
+
+def test_chunked_position_accounting_no_double_charge():
+    """Per-chunk gathers of one parallel operator are unioned before
+    touching: pages shared between chunk ranges are charged once, and
+    the trace equals the serial (merged) gather's."""
+    import numpy as np
+    chunks = [np.arange(0, 1024), np.arange(512, 2048)]   # overlap
+    chunked = BufferManager(page_size=4096)
+    heap = _persistent_heap(4096 * 8)
+    chunked.access_positions_chunks(heap, chunks, 4)
+    assert chunked.faults == 2           # pages {0, 1}, page 0 shared
+    assert chunked.hits == 0             # ... but charged exactly once
+
+    merged = BufferManager(page_size=4096)
+    merged.access_positions(heap, np.concatenate(chunks), 4)
+    assert (chunked.faults, chunked.hits) == (merged.faults,
+                                              merged.hits)
+
+
 def test_operator_attribution():
     manager = BufferManager(page_size=4096)
     heap = _persistent_heap(4096 * 3)

@@ -1,0 +1,310 @@
+"""Chunked parallel kernel execution (repro.monet.parallel).
+
+Three contracts under test:
+
+* the chunk *plan* partitions the position range, is gated by the size
+  threshold, and never depends on the worker count;
+* every chunk-aware kernel merges per-chunk results in chunk order and
+  is BUN-identical to its serial form — whole operators included, with
+  real thread pools and with the in-thread ``workers=1`` path;
+* fault-simulation traces are unchanged by enabling the layer (the
+  per-chunk page accounting unions before touching).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.monet import bat_from_pairs, compute_props
+from repro.monet import operators as ops
+from repro.monet import parallel as par
+from repro.monet import vectorized as vz
+from repro.monet.buffer import BufferManager
+from repro.monet.buffer import use as use_manager
+from repro.monet.operators import naive
+from repro.monet.optimizer import dispatch_disabled
+
+
+def tiny_config(workers=3, chunk_bytes=64):
+    """A config that forces many chunks on small test operands."""
+    return par.ParallelConfig(workers=workers, chunk_bytes=chunk_bytes,
+                              min_rows=1)
+
+
+@pytest.fixture(params=[1, 3], ids=["inline", "pooled"])
+def config(request):
+    """Both execution modes of one identical chunk plan."""
+    return tiny_config(workers=request.param)
+
+
+# ----------------------------------------------------------------------
+# planner + config plumbing
+# ----------------------------------------------------------------------
+def test_plan_chunks_partitions_range():
+    plan = par.plan_chunks(10, 3)
+    assert plan == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    covered = [pos for lo, hi in plan for pos in range(lo, hi)]
+    assert covered == list(range(10))
+
+
+def test_config_plan_honours_width_and_threshold():
+    config = par.ParallelConfig(workers=2, chunk_bytes=64, min_rows=4)
+    # 8-byte entries: 8 rows per chunk
+    assert config.plan(20, 8) == [(0, 8), (8, 16), (16, 20)]
+    # wider entries shrink the chunk rows
+    assert config.plan(20, 16) == [(0, 4), (4, 8), (8, 12), (12, 16),
+                                   (16, 20)]
+    # below min_rows, or fitting one chunk: stay serial
+    assert config.plan(3, 8) is None
+    assert config.plan(8, 8) is None
+    # the plan never depends on the worker count
+    other = par.ParallelConfig(workers=7, chunk_bytes=64, min_rows=4)
+    assert other.plan(20, 8) == config.plan(20, 8)
+
+
+def test_chunk_plan_gated_by_installed_config():
+    assert par.get_config() is None          # off by default
+    assert par.chunk_plan(10 ** 6, 8) is None
+    with par.use(tiny_config()):
+        assert par.chunk_plan(100, 8) is not None
+    assert par.get_config() is None          # context restored
+
+
+def test_run_chunks_preserves_plan_order():
+    # completion order is scrambled with sleeps; results must still
+    # come back in plan order, which is what every merge relies on
+    plan = [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def chunk(lo, hi):
+        time.sleep(0.02 if lo == 0 else 0.001)
+        return (lo, threading.get_ident())
+
+    with par.use(tiny_config(workers=4)):
+        results = par.run_chunks(chunk, plan)
+    assert [lo for lo, _tid in results] == [0, 2, 4, 6]
+
+
+# ----------------------------------------------------------------------
+# kernel-level: chunked == serial == naive
+# ----------------------------------------------------------------------
+def _rng_keys(n, spread, seed):
+    return np.random.default_rng(seed).integers(0, spread, size=n)
+
+
+def test_match_chunked_equals_serial(config):
+    right = _rng_keys(500, 40, seed=1)
+    probes = _rng_keys(1200, 50, seed=2)
+    serial = vz.join_match(probes, right)
+    with par.use(config):
+        chunked = vz.join_match(probes, right)
+        segments = vz.MultiMap(right).match_chunks(probes)
+    assert segments is not None and len(segments) > 1
+    for got, want in zip(chunked, serial):
+        assert np.array_equal(got, want)
+    merged = vz.merge_match_segments(segments)
+    for got, want in zip(merged, serial):
+        assert np.array_equal(got, want)
+    for got, want in zip(chunked, naive.join_match(probes, right)):
+        assert np.array_equal(got, want)
+
+
+def test_match_chunked_floats_with_nan(config):
+    rng = np.random.default_rng(7)
+    right = rng.choice([1.5, 2.5, float("nan"), -0.0, 9.0], size=300)
+    probes = rng.choice([1.5, float("nan"), 0.0, 7.0], size=800)
+    serial = vz.join_match(probes, right)
+    with par.use(config):
+        chunked = vz.join_match(probes, right)
+    for got, want in zip(chunked, serial):
+        assert np.array_equal(got, want)
+
+
+def test_membership_chunked_equals_serial(config):
+    left = _rng_keys(900, 60, seed=3)
+    right = _rng_keys(200, 60, seed=4)
+    serial = vz.membership_mask(left, right)
+    with par.use(config):
+        chunked = vz.membership_mask(left, right)
+        # the direct-address (domain-coded) path chunks the gather
+        domain_serial = vz.membership_mask(left, right, domain=60)
+    assert np.array_equal(chunked, serial)
+    assert np.array_equal(domain_serial, serial)
+    assert np.array_equal(chunked, naive.membership_mask(left, right))
+
+
+def test_membership_chunked_nan_never_member(config):
+    nan = float("nan")
+    left = np.asarray([1.0, nan, 2.0, nan] * 100)
+    right = np.asarray([nan, 2.0])
+    with par.use(config):
+        mask = vz.membership_mask(left, right)
+    assert np.array_equal(mask, np.asarray([False, False, True, False]
+                                           * 100))
+
+
+def test_factorize_chunked_equals_serial(config):
+    keys = _rng_keys(1000, 37, seed=5)
+    serial_codes, serial_n = vz.factorize(keys)
+    with par.use(config):
+        codes, n = vz.factorize(keys)
+    assert n == serial_n
+    assert np.array_equal(codes, serial_codes)
+
+
+def test_factorize_chunked_nan_codes_identical(config):
+    rng = np.random.default_rng(6)
+    keys = rng.choice([1.5, 2.5, float("nan"), 8.0], size=600)
+    serial_codes, serial_n = vz.factorize(keys)
+    with par.use(config):
+        codes, n = vz.factorize(keys)
+    assert n == serial_n
+    assert np.array_equal(codes, serial_codes)
+
+
+def test_joint_codes_chunked_equality_preserved(config):
+    left = _rng_keys(700, 1000, seed=8) * (2 ** 40)   # defeat offset coding
+    right = _rng_keys(400, 1000, seed=9) * (2 ** 40)
+    serial = vz.joint_codes(left, right)
+    with par.use(config):
+        chunked = vz.joint_codes(left, right)
+    assert chunked[2] == serial[2]
+    assert np.array_equal(chunked[0], serial[0])
+    assert np.array_equal(chunked[1], serial[1])
+
+
+def test_grouped_sum_chunked_exact(config):
+    values = _rng_keys(1500, 10 ** 6, seed=10).astype(np.int64)
+    codes, n_groups = vz.factorize(_rng_keys(1500, 23, seed=11))
+    serial = vz.grouped_sum(values, codes, n_groups)
+    # chunk_bytes sized so the partial-width gate keeps the chunked
+    # path on (few chunks, few groups)
+    chunky = par.ParallelConfig(workers=config.workers,
+                                chunk_bytes=4096, min_rows=1)
+    with par.use(chunky):
+        chunked = vz.grouped_sum(values, codes, n_groups)
+    assert np.array_equal(chunked, serial)
+    assert np.array_equal(chunked,
+                          naive.grouped_sum(values, codes, n_groups))
+
+
+def test_grouped_sum_high_cardinality_stays_serial(config):
+    # near-unique group keys: one full-width partial per chunk would
+    # cost O(n_chunks * n_groups); the gate must fall back to serial
+    values = _rng_keys(1200, 10 ** 6, seed=20).astype(np.int64)
+    codes, n_groups = vz.factorize(np.arange(1200, dtype=np.int64))
+    assert n_groups == 1200
+    serial = vz.grouped_sum(values, codes, n_groups)
+    with par.use(config):                   # 64-byte chunks: many chunks
+        assert not vz._partials_worthwhile(
+            n_groups, len(values),
+            len(par.chunk_plan(len(values), 16)))
+        chunked = vz.grouped_sum(values, codes, n_groups)
+    assert np.array_equal(chunked, serial)
+
+
+def test_grouped_weighted_sum_bit_identical_across_workers():
+    weights = np.random.default_rng(12).random(2000)
+    codes, n_groups = vz.factorize(_rng_keys(2000, 17, seed=13))
+    outputs = []
+    for workers in (1, 2, 5):
+        with par.use(par.ParallelConfig(workers=workers,
+                                        chunk_bytes=4096, min_rows=1)):
+            outputs.append(vz.grouped_weighted_sum(codes, weights,
+                                                   n_groups))
+    # same chunk plan => bit-identical float sums, any worker count
+    assert np.array_equal(outputs[0], outputs[1])
+    assert np.array_equal(outputs[0], outputs[2])
+    serial = np.bincount(codes, weights=weights, minlength=n_groups)
+    assert np.allclose(outputs[0], serial, rtol=1e-12)
+
+
+def test_object_keys_stay_on_dict_fallback(config):
+    right = np.asarray(["a", "b", "c"] * 50, dtype=object)
+    probes = np.asarray(["b", "z"] * 40, dtype=object)
+    with par.use(config):
+        assert vz.MultiMap(right).match_chunks(probes) is None
+        got = vz.join_match(probes, right)
+    want = naive.join_match(probes, right)
+    for a, b in zip(got, want):
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# operator-level: parallel == serial, faults included
+# ----------------------------------------------------------------------
+def _operator_bats(n=1200):
+    rng = np.random.default_rng(42)
+    ab = bat_from_pairs("oid", "long",
+                        list(enumerate(rng.integers(0, n // 3,
+                                                    size=n).tolist())))
+    ab.props = compute_props(ab)
+    cd_pairs = list(zip(rng.permutation(n // 3).tolist(),
+                        rng.integers(0, 99, size=n // 3).tolist()))
+    cd = bat_from_pairs("long", "long", cd_pairs)
+    cd.props = compute_props(cd)
+    sel_pairs = [(i, i) for i in range(0, n, 5)]
+    sel = bat_from_pairs("oid", "oid", sel_pairs)
+    sel.props = compute_props(sel)
+    grouped = bat_from_pairs("long",
+                             "double",
+                             list(zip(rng.integers(0, n // 4,
+                                                   size=n).tolist(),
+                                      rng.random(n).tolist())))
+    grouped.props = compute_props(grouped)
+    return ab, cd, sel, grouped
+
+
+def test_operators_identical_under_parallel(config):
+    ab, cd, sel, grouped = _operator_bats()
+    with dispatch_disabled():
+        serial_join = ops.join(ab, cd).to_pairs()
+        serial_semi = ops.semijoin(ab, sel).to_pairs()
+    serial_group = ops.group1(grouped).to_pairs()
+    serial_uniq = ops.unique(ab).to_pairs()
+    serial_diff = ops.difference(ab, ab).to_pairs()
+    with par.use(config):
+        with dispatch_disabled():
+            assert ops.join(ab, cd).to_pairs() == serial_join
+            assert ops.semijoin(ab, sel).to_pairs() == serial_semi
+        assert ops.group1(grouped).to_pairs() == serial_group
+        assert ops.unique(ab).to_pairs() == serial_uniq
+        assert ops.difference(ab, ab).to_pairs() == serial_diff
+
+
+def test_aggregate_sum_deterministic_across_workers():
+    _ab, _cd, _sel, grouped = _operator_bats()
+    outputs = []
+    for workers in (1, 4):
+        with par.use(tiny_config(workers=workers, chunk_bytes=2048)):
+            outputs.append(ops.set_aggregate("sum", grouped).to_pairs())
+    assert outputs[0] == outputs[1]         # bit-identical, same plan
+    serial = ops.set_aggregate("sum", grouped).to_pairs()
+    assert [h for h, _t in outputs[0]] == [h for h, _t in serial]
+    assert np.allclose([t for _h, t in outputs[0]],
+                       [t for _h, t in serial], rtol=1e-12)
+
+
+def test_fault_trace_unchanged_under_parallel(config):
+    ab, cd, sel, grouped = _operator_bats()
+    for column in (ab.head, ab.tail, cd.head, cd.tail,
+                   grouped.head, grouped.tail):
+        for heap in column.heaps:
+            heap.persistent = True
+
+    def trace():
+        manager = BufferManager(page_size=4096)
+        with use_manager(manager):
+            with dispatch_disabled():
+                ops.join(ab, cd)
+                ops.semijoin(ab, sel)
+            ops.group1(grouped)
+            ops.set_aggregate("sum", grouped)
+        return (manager.faults, manager.hits, manager.evictions,
+                manager.op_faults)
+
+    serial = trace()
+    with par.use(config):
+        parallel_trace = trace()
+    assert parallel_trace == serial

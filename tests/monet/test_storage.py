@@ -310,6 +310,43 @@ def test_var_heap_sorted_order_vectorised_and_cached():
     assert list(heap.decode([banana])) == ["banana"]
 
 
+def test_mapped_var_heap_insert_after_reopen_round_trips(tmp_path):
+    """Mutating a reopened (mmap-backed) var heap must behave like a
+    live VarHeap: the insert materialises the value list lazily,
+    ``lookup``/``_body_bytes`` stay consistent, and a subsequent
+    ``MonetKernel.save`` re-encodes the mutated heap instead of
+    writing the stale mapped bytes."""
+    kernel = build_kernel()
+    kernel.save(tmp_path / "db")
+    reopened = MonetKernel.open(tmp_path / "db")
+    heap = reopened.get("T_name").tail.heap
+    assert isinstance(heap, MappedVarHeap) and not heap.decoded
+
+    before_bytes = heap.nbytes
+    index = heap.insert("quince")
+    assert heap.decoded                      # insert forced the decode
+    assert index == 3                        # appended after the
+    assert heap.decode_one(index) == "quince"   # 3 mapped values
+    assert heap.insert("quince") == index    # interning, not appending
+    assert heap.lookup == {"cherry": 0, "apple": 1, "banana": 2,
+                           "quince": 3}
+    assert heap.nbytes == before_bytes + len("quince") + 1
+    assert len(heap) == 4
+
+    # the mutated heap round-trips through save (fresh dir and
+    # save-over-self, which rewrites under the live mapping)
+    for target in (tmp_path / "other", tmp_path / "db"):
+        reopened.save(target)
+        again = MonetKernel.open(target)
+        again_heap = again.get("T_name").tail.heap
+        assert len(again_heap) == 4
+        assert again_heap.decode_one(3) == "quince"
+        assert again_heap.nbytes == heap.nbytes
+        assert again.get("T_name").to_pairs() == \
+            kernel.get("T_name").to_pairs()
+        assert again_heap.lookup["quince"] == 3
+
+
 def test_mapped_var_heap_sorted_order(tmp_path):
     kernel = build_kernel()
     kernel.save(tmp_path / "db")

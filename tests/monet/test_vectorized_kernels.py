@@ -187,6 +187,132 @@ def test_joint_codes_preserve_equality(left, right):
     assert len(both_codes) == 0 or both_codes.max() < n
 
 
+# ----------------------------------------------------------------------
+# NaN keys: IEEE semantics on every coded path (NaN != NaN, like the
+# dict references — np.unique's equal_nan collapse must not leak out)
+# ----------------------------------------------------------------------
+_nan_floats = st.lists(st.floats(min_value=-8, max_value=8, width=16)
+                       | st.just(float("nan")), max_size=25)
+
+
+def _equality_partition(codes):
+    codes = np.asarray(codes)
+    return codes[:, None] == codes[None, :]
+
+
+def test_factorize_nan_keys_each_distinct():
+    nan = float("nan")
+    keys = np.asarray([1.0, nan, 1.0, nan, 2.0])
+    codes, n = vz.factorize(keys)
+    assert n == 4                       # {1.0, 2.0} + two distinct NaNs
+    assert codes[0] == codes[2]
+    assert codes[1] != codes[3]
+    # finite codes keep the sorted distinct-key contract; NaN codes
+    # come after them in BUN order
+    assert codes[0] == 0 and codes[4] == 1
+    assert list(codes[[1, 3]]) == [2, 3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nan_floats)
+def test_factorize_nan_partition_matches_naive(values):
+    keys = np.asarray(values, dtype=np.float64)
+    codes, n = vz.factorize(keys)
+    ref_codes, ref_n = naive.factorize(keys)
+    assert n == ref_n
+    assert np.array_equal(_equality_partition(codes),
+                          _equality_partition(ref_codes))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_nan_floats, _nan_floats)
+def test_joint_codes_nan_never_equal(left, right):
+    la = np.asarray(left, dtype=np.float64)
+    ra = np.asarray(right, dtype=np.float64)
+    lc, rc, n = vz.joint_codes(la, ra)
+    both_keys = np.concatenate([la, ra])
+    both_codes = np.concatenate([lc, rc])
+    for i in range(len(both_keys)):
+        same_key = both_keys == both_keys[i]     # IEEE: NaN rows empty
+        if np.isnan(both_keys[i]):
+            assert np.count_nonzero(both_codes == both_codes[i]) == 1
+        else:
+            assert np.array_equal(same_key,
+                                  both_codes == both_codes[i])
+    assert len(both_codes) == 0 or both_codes.max() < n
+
+
+def test_setops_nan_tails_follow_ieee_semantics():
+    nan = float("nan")
+    ab = bat_from_pairs("oid", "double", [(0, nan), (1, nan), (0, nan),
+                                          (2, 1.5)])
+    cd = bat_from_pairs("oid", "double", [(0, nan), (2, 1.5)])
+    # no NaN BUN ever duplicates another, so unique keeps all of them
+    assert len(ops.unique(ab)) == 4
+    # ... none is a member of the other operand either
+    diff = ops.difference(ab, cd)
+    assert len(diff) == 3                        # only (2, 1.5) matches
+    assert [h for h, _t in diff.to_pairs()] == [0, 1, 0]
+    inter = ops.intersection(ab, cd)
+    assert inter.to_pairs() == [(2, 1.5)]
+
+
+def test_group_nan_tails_match_naive_partition():
+    nan = float("nan")
+    bat = bat_from_pairs("oid", "double",
+                         [(0, nan), (1, 2.0), (2, nan), (3, 2.0)])
+    bat.props = compute_props(bat)
+    out = ops.group1(bat)
+    groups = [g for _h, g in out.to_pairs()]
+    assert groups[1] == groups[3]               # 2.0 == 2.0
+    assert groups[0] != groups[2]               # NaN != NaN
+    assert len(set(groups)) == 3
+
+
+# ----------------------------------------------------------------------
+# combine_codes: int64 overflow guard
+# ----------------------------------------------------------------------
+def test_combine_codes_plain_arithmetic_unchanged():
+    combined = vz.combine_codes([3, 0, 3], [1, 2, 1], 10)
+    assert list(combined) == [31, 2, 31]
+
+
+def test_combine_codes_overflow_falls_back_to_pair_codes():
+    # offset-coded domains from joint_codes can reach 2**40 per slot;
+    # the mixed-radix product would wrap int64 and alias pairs
+    high = np.asarray([2 ** 40, 2 ** 40, 1, 0], dtype=np.int64)
+    low = np.asarray([0, 1, 0, 0], dtype=np.int64)
+    n_low = 2 ** 40
+    combined = vz.combine_codes(high, low, n_low)
+    assert combined.dtype == np.int64
+    assert combined.min() >= 0                  # no wrap-around
+    # pair equality/inequality preserved, order = sorted (high, low)
+    assert len(set(combined.tolist())) == 4
+    assert list(np.argsort(combined)) == [3, 2, 0, 1]
+    # without the guard this would alias: (2**40)*(2**40) wraps to 0
+    wrapped = high * np.int64(n_low) + low
+    assert wrapped.min() < 0 or len(set(wrapped.tolist())) < 4
+
+
+def test_combine_codes_pair_keeps_sides_comparable_on_overflow():
+    n_low = 2 ** 40
+    left_high = np.asarray([2 ** 40, 5], dtype=np.int64)
+    left_low = np.asarray([7, 3], dtype=np.int64)
+    right_high = np.asarray([2 ** 40, 2 ** 40], dtype=np.int64)
+    right_low = np.asarray([7, 8], dtype=np.int64)
+    lc, rc, n = vz.combine_codes_pair(left_high, left_low,
+                                      right_high, right_low, n_low)
+    assert lc[0] == rc[0]                   # same (high, low) pair
+    assert lc[0] != rc[1] and lc[1] not in (rc[0], rc[1])
+    assert max(int(lc.max()), int(rc.max())) < n
+
+
+def test_combine_codes_pair_no_overflow_matches_arithmetic():
+    lc, rc, n = vz.combine_codes_pair([2, 0], [1, 1], [2], [1], 10)
+    assert list(lc) == [21, 1] and list(rc) == [21]
+    assert n == 30
+
+
 def test_multimap_scalar_probes():
     mm = vz.MultiMap(_int_arr([5, 7, 5, 9]))
     assert list(mm.positions(5)) == [0, 2]
