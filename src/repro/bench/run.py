@@ -43,6 +43,19 @@ bit-identical), which is what the CI equality gate diffs between a
 ``--validate`` runs always stay serial so fault traces remain
 deterministic.
 
+``--procs N`` (needs ``--db-dir``) additionally executes the whole
+TPC-D query set through the **multi-process dispatcher**
+(:mod:`repro.monet.multiproc`): N worker processes each mmap-reopen
+the saved database at the generation the parent pinned, run their
+share of the queries with a per-process BufferManager, and ship
+results back with sha1 checksums.  The harness asserts every worker
+checksum identical to the serial run of the same query (hard
+``RuntimeError`` on divergence) and records a ``multiproc`` section —
+per-query worker milliseconds, checksums, faults, the worker pids
+used, and the catalog generation served.  Serial query entries always
+record their own ``checksum``, which is what the CI step diffs
+between a serial and a ``--procs 2`` run.
+
 The harness **fails with a nonzero exit** when any operator or query
 median regresses by more than 2x against the previous JSON at the
 output path (same scale + mode only; disable with
@@ -50,7 +63,6 @@ output path (same scale + mode only; disable with
 """
 
 import argparse
-import hashlib
 import json
 import os
 import platform
@@ -67,6 +79,8 @@ from ..monet.buffer import use as use_manager
 from ..monet.column import equality_keys
 from ..monet import operators as ops
 from ..monet.operators import naive
+from ..monet.multiproc import (MultiprocExecutor, result_checksum,
+                               ship_value)
 from ..monet.optimizer import dispatch_disabled
 from ..monet.storage import PAGESIZE, residency_report, residency_snapshot
 from ..monet import vectorized as vz
@@ -342,17 +356,10 @@ DEFAULT_WORKER_SWEEP = (1, 4)
 
 
 def _result_fingerprint(bat):
-    """Checksum of a result BAT's BUNs (head + tail, in BUN order)."""
-    digest = hashlib.sha1()
-    for column in (bat.head, bat.tail):
-        values = np.asarray(column.logical())
-        if values.dtype == object:
-            for value in values.tolist():
-                digest.update(repr(value).encode("utf-8"))
-                digest.update(b"\x00")
-        else:
-            digest.update(np.ascontiguousarray(values).tobytes())
-    return digest.hexdigest()
+    """Checksum of a result BAT's BUNs (head + tail, in BUN order) —
+    the same canonical sha1 the multiproc section and the serial query
+    entries use, so checksums are comparable across sections."""
+    return result_checksum(ship_value(bat))
 
 
 def _parallel_section(operands, cases, reps, workers_sweep):
@@ -477,8 +484,53 @@ def _validate_queries(db_dir):
     return validation
 
 
+def _multiproc_section(db_dir, procs, serial):
+    """Fan the query set over worker processes; gate on checksums.
+
+    ``serial`` is the per-query section this run just measured — its
+    checksums are the contract: a worker result that differs is a hard
+    error (the shared-catalog fan-out must be bit-equivalent to serial
+    execution).  Records per-query worker timings/faults, the worker
+    pids used, and the pinned catalog generation.
+    """
+    started = time.perf_counter()
+    with MultiprocExecutor(db_dir, procs=procs) as executor:
+        outcomes = executor.run_queries()
+        generation = executor.generation
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    section = {
+        "procs": int(procs),
+        "cpus": os.cpu_count() or 1,
+        "generation": int(generation),
+        "wall_ms": round(wall_ms, 4),
+        "workers_used": sorted({outcome.pid
+                                for outcome in outcomes.values()}),
+        "queries": {},
+    }
+    serial_total = 0.0
+    for number, outcome in sorted(outcomes.items()):
+        expected = serial[str(number)]["checksum"]
+        if outcome.checksum != expected:
+            raise RuntimeError(
+                "multiproc result diverged for Q%d: worker pid %d "
+                "shipped %s, serial run computed %s"
+                % (number, outcome.pid, outcome.checksum, expected))
+        serial_total += serial[str(number)]["median_ms"]
+        section["queries"][str(number)] = {
+            "ms": round(outcome.elapsed_ms, 4),
+            "checksum": outcome.checksum,
+            "faults": int(outcome.stats.faults),
+        }
+    section["serial_total_ms"] = round(serial_total, 4)
+    section["speedup_vs_serial"] = round(
+        serial_total / max(wall_ms, 1e-9), 2)
+    section["checksums_match"] = True
+    return section
+
+
 def run(sf, reps, quick, out_path, db_dir=None, validate=False,
-        seed=DEFAULT_SEED, workers_sweep=DEFAULT_WORKER_SWEEP):
+        seed=DEFAULT_SEED, workers_sweep=DEFAULT_WORKER_SWEEP,
+        procs=0):
     db, source, load_s, warm = _load_database(sf, seed, db_dir)
     operands = _operand_bats(source)
     # mergejoin inner: head-ordered + key [oid, extendedprice]
@@ -540,7 +592,14 @@ def run(sf, reps, quick, out_path, db_dir=None, validate=False,
                 _median_ms(lambda q=query: q.run(db), reps), 4),
             "faults": int(measure_query_faults(db, query)),
             "rows": int(shape),
+            # canonical sha1 of the result rows — the equality contract
+            # the multiproc section (and the CI cross-run diff) asserts
+            "checksum": result_checksum(ship_value(rows)),
         }
+
+    if procs and db_dir is not None:
+        results["multiproc"] = _multiproc_section(
+            db_dir, procs, results["queries"])
 
     if validate and db_dir is not None:
         results["residency"] = _validate_queries(db_dir)
@@ -620,6 +679,14 @@ def main(argv=None):
                              "asserted bit-identical across the "
                              "sweep.  Default: 1 and 4; "
                              "--workers 0 skips the sweep entirely")
+    parser.add_argument("--procs", type=int, default=0, metavar="N",
+                        help="fan the TPC-D query set across N worker "
+                             "processes sharing the --db-dir catalog "
+                             "(each worker mmap-reopens the pinned "
+                             "generation); per-query sha1 checksums "
+                             "are asserted identical to the serial "
+                             "run and a 'multiproc' section is "
+                             "recorded.  0 (default) skips the sweep")
     parser.add_argument("--no-regression-check", action="store_true",
                         help="do not fail on >%gx median regressions "
                              "vs the previous JSON" % REGRESSION_FACTOR)
@@ -633,6 +700,11 @@ def main(argv=None):
         parser.error("--reps must be at least 1")
     if args.validate and args.db_dir is None:
         parser.error("--validate needs --db-dir")
+    if args.procs < 0:
+        parser.error("--procs must be >= 0")
+    if args.procs and args.db_dir is None:
+        parser.error("--procs needs --db-dir (workers reopen the "
+                     "saved catalog)")
     workers_sweep = tuple(args.workers) if args.workers \
         else DEFAULT_WORKER_SWEEP
     if workers_sweep == (0,):
@@ -658,7 +730,8 @@ def main(argv=None):
             previous = None
 
     results = run(sf, reps, args.quick, out_path, db_dir=args.db_dir,
-                  validate=args.validate, workers_sweep=workers_sweep)
+                  validate=args.validate, workers_sweep=workers_sweep,
+                  procs=args.procs)
     ops_table = results["operators"]
     print("BENCH sf=%s reps=%d -> %s" % (sf, reps, out_path))
     print("  load: %s in %.2fs"
@@ -691,6 +764,15 @@ def main(argv=None):
     print("  %d queries; slowest Q%s at %.1f ms"
           % (len(results["queries"]), slowest[0],
              slowest[1]["median_ms"]))
+    if "multiproc" in results:
+        section = results["multiproc"]
+        print("  multiproc sweep: %d queries across %d procs "
+              "(%d worker pids, generation %d) in %.1f ms wall — "
+              "all checksums identical to serial (x%.2f vs summed "
+              "serial medians)"
+              % (len(section["queries"]), section["procs"],
+                 len(section["workers_used"]), section["generation"],
+                 section["wall_ms"], section["speedup_vs_serial"]))
     if "residency" in results:
         print("  residency validation (simulated vs real pages):")
         for number, entry in sorted(results["residency"].items(),

@@ -42,6 +42,21 @@ class CatalogError(MonetError):
     """A named BAT is missing from (or duplicated in) the kernel catalog."""
 
 
+class CatalogLockTimeout(CatalogError):
+    """The shared-catalog advisory lock stayed held past the timeout."""
+
+
+class StaleCatalogError(CatalogError):
+    """The on-disk manifest is older than the generation the caller
+    requires (a rolled-back directory, or a reader that raced a save
+    which never completed)."""
+
+
+class CatalogChangedError(CatalogError):
+    """The catalog was rewritten to a newer generation than the one the
+    caller opened (or pinned); the reader must reopen to proceed."""
+
+
 class MOAError(ReproError):
     """Base class for errors raised by the MOA layer."""
 

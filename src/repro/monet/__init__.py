@@ -18,10 +18,15 @@ from .column import (Column, FixedColumn, VarColumn, VoidColumn,
                      column_from_values)
 from .heap import FixedHeap, MappedVarHeap, VarHeap
 from .kernel import MonetKernel
-from .storage import (HeapStorage, MemoryBackend, MmapBackend,
-                      open_kernel, residency_report, residency_snapshot,
-                      save_kernel)
-from .mil import MILInterpreter, MILProgram, MILStmt, MILTrace, Var
+from .storage import (CatalogLock, HeapStorage, MemoryBackend,
+                      MmapBackend, catalog_generation, open_kernel,
+                      open_with_protocol, residency_report,
+                      residency_snapshot, save_kernel)
+from .mil import (MILInterpreter, MILProgram, MILStmt, MILTrace, Var,
+                  partition_independent)
+from .multiproc import (MultiprocExecutor, TaskOutcome, result_checksum,
+                        run_program_serial, run_queries_multiproc,
+                        ship_value)
 from .optimizer import Optimizer, dispatch_disabled, get_optimizer
 from .parallel import ParallelConfig
 from .properties import Props, compute_props, synced, verify
@@ -36,10 +41,13 @@ __all__ = [
     "column_from_values",
     "FixedHeap", "MappedVarHeap", "VarHeap",
     "MonetKernel",
-    "HeapStorage", "MemoryBackend", "MmapBackend",
-    "open_kernel", "residency_report", "residency_snapshot",
-    "save_kernel",
+    "CatalogLock", "HeapStorage", "MemoryBackend", "MmapBackend",
+    "catalog_generation", "open_kernel", "open_with_protocol",
+    "residency_report", "residency_snapshot", "save_kernel",
     "MILInterpreter", "MILProgram", "MILStmt", "MILTrace", "Var",
+    "partition_independent",
+    "MultiprocExecutor", "TaskOutcome", "result_checksum",
+    "run_program_serial", "run_queries_multiproc", "ship_value",
     "Optimizer", "dispatch_disabled", "get_optimizer",
     "Props", "compute_props", "synced", "verify",
 ]

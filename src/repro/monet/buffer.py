@@ -32,7 +32,13 @@ import numpy as np
 
 
 class BufferStats:
-    """Counters captured by :meth:`BufferManager.snapshot`."""
+    """Counters captured by :meth:`BufferManager.snapshot`.
+
+    Each worker process of the multi-process dispatcher
+    (:mod:`repro.monet.multiproc`) runs its own :class:`BufferManager`
+    over the shared mmap catalog; :meth:`merge` folds the per-worker
+    snapshots into one fleet-wide total on the parent side.
+    """
 
     __slots__ = ("faults", "hits", "evictions")
 
@@ -40,6 +46,17 @@ class BufferStats:
         self.faults = faults
         self.hits = hits
         self.evictions = evictions
+
+    def merge(self, other):
+        """Accumulate another snapshot into this one; returns self."""
+        self.faults += other.faults
+        self.hits += other.hits
+        self.evictions += other.evictions
+        return self
+
+    def as_dict(self):
+        return {"faults": int(self.faults), "hits": int(self.hits),
+                "evictions": int(self.evictions)}
 
     def __repr__(self):
         return ("BufferStats(faults=%d, hits=%d, evictions=%d)"

@@ -45,6 +45,11 @@ class MonetKernel:
         #: alignment tokens per load group, so BATs loaded for one
         #: class come out mutually synced
         self._group_alignment = {}
+        #: shared-catalog provenance, set by :meth:`open`: the catalog
+        #: generation this kernel serves and the backend it came from
+        #: (``None`` for kernels that were never opened from storage)
+        self.generation = None
+        self.origin = None
 
     # ------------------------------------------------------------------
     # catalog
@@ -95,26 +100,76 @@ class MonetKernel:
     # ------------------------------------------------------------------
     # persistence (see repro.monet.storage)
     # ------------------------------------------------------------------
-    def save(self, target, meta=None):
+    def save(self, target, meta=None, extra=None, lock_timeout=None):
         """Persist the whole catalog to a directory (or backend).
 
         Writes one raw little-endian file per heap plus a JSON catalog
         manifest; accelerator heaps (datavectors, hash indexes) are
-        included.  Returns the manifest dict.
+        included.  The save holds the directory's exclusive catalog
+        lock and bumps the manifest generation counter (see
+        :mod:`repro.monet.storage`).  Returns the manifest dict.
         """
         from .storage import save_kernel
-        return save_kernel(self, target, meta=meta)
+        return save_kernel(self, target, meta=meta, extra=extra,
+                           lock_timeout=lock_timeout)
 
     @classmethod
-    def open(cls, target, buffer_manager=None):
+    def open(cls, target, buffer_manager=None, expected_generation=None,
+             lock_timeout=None):
         """Reopen a saved catalog with zero-copy ``np.memmap`` columns.
 
         Properties, alignment groups and accelerators are restored from
         the manifest; no heap data is read eagerly.
+        ``expected_generation`` pins the open to one catalog
+        generation (raising ``StaleCatalogError`` /
+        ``CatalogChangedError`` on mismatch) — the multi-process
+        dispatcher uses it so every worker serves the same snapshot.
         """
         from .storage import open_kernel
         return open_kernel(target, buffer_manager=buffer_manager,
-                           kernel=cls(buffer_manager))
+                           kernel=cls(buffer_manager),
+                           expected_generation=expected_generation,
+                           lock_timeout=lock_timeout)
+
+    def is_stale(self):
+        """True when the origin catalog moved past this kernel's
+        generation (a writer saved since we opened) — or can no longer
+        be read at all (directory gone, manifest corrupt): either way,
+        this kernel's snapshot no longer reflects its origin.  Kernels
+        that were never opened from storage are never stale.  Use
+        :meth:`assert_current` for the typed-error form.
+        """
+        if self.origin is None or self.generation is None:
+            return False
+        from ..errors import CatalogError
+        from .storage import catalog_generation
+        try:
+            return catalog_generation(self.origin) != self.generation
+        except CatalogError:
+            return True
+
+    def assert_current(self):
+        """Raise unless the origin catalog still serves our generation.
+
+        ``CatalogChangedError`` when a newer generation was saved
+        (reopen to proceed), ``StaleCatalogError`` when the on-disk
+        manifest is *older* than what we opened (a rolled-back or
+        damaged directory).  No-op for kernels without an origin.
+        """
+        if self.origin is None or self.generation is None:
+            return
+        from ..errors import CatalogChangedError, StaleCatalogError
+        from .storage import catalog_generation
+        on_disk = catalog_generation(self.origin)
+        if on_disk > self.generation:
+            raise CatalogChangedError(
+                "catalog was rewritten: generation %d on disk, this "
+                "kernel serves %d — reopen to pick it up"
+                % (on_disk, self.generation))
+        if on_disk < self.generation:
+            raise StaleCatalogError(
+                "stale manifest: generation %d on disk, this kernel "
+                "was opened at %d" % (on_disk, self.generation))
 
     # ------------------------------------------------------------------
     # load pipeline

@@ -1,0 +1,459 @@
+"""Multi-process query execution over a shared mmap catalog.
+
+The paper's flat BAT layout pays off when independent consumers share
+it zero-copy; PR 2 made a saved database a directory of raw heap files
+behind a manifest, and this module turns that directory into a live,
+concurrently-readable store.  A :class:`MultiprocExecutor` owns a pool
+of **worker processes**; each worker
+
+* ``MonetKernel.open``/``open_tpcd``-s the *same* ``db_dir`` itself —
+  the heap files arrive as ``np.memmap`` views, so the page cache is
+  shared between every worker and nothing is ever copied through a
+  pipe at load time (no dbgen, no bulk load),
+* pins the catalog **generation** the parent observed
+  (``expected_generation``), so a save racing the fan-out surfaces as
+  a typed :class:`~repro.errors.CatalogChangedError` instead of
+  workers silently serving different snapshots,
+* installs its own per-process
+  :class:`~repro.monet.buffer.BufferManager`, so simulated fault
+  accounting stays per-worker and is shipped back with each result.
+
+Tasks are whole TPC-D queries (:meth:`MultiprocExecutor.run_queries`)
+or MIL programs (:meth:`MultiprocExecutor.run_programs`); a straight-
+line program can additionally be split into dependency-independent
+partitions (:func:`repro.monet.mil.partition_independent`) and fanned
+statement-group-wise (:meth:`MultiprocExecutor.run_partitioned`).
+
+Result shipping
+---------------
+
+Every task result is reduced to a canonical picklable form
+(:func:`ship_value`) and fingerprinted with **sha1**
+(:func:`result_checksum`) *inside the worker*.  The payload then ships
+either inline through the pool pipe (``ship="inline"``, the default)
+or as a per-worker result file (``ship="file"``) that the parent loads
+and re-verifies against the shipped checksum.  The checksum is the
+contract the benchmarks and CI assert: a multi-process run must be
+checksum-identical to the serial execution of the same queries.
+"""
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import time
+
+import numpy as np
+
+from ..errors import MILError
+from .buffer import BufferManager, BufferStats, set_manager
+from .mil import MILInterpreter, partition_independent
+
+__all__ = [
+    "MultiprocExecutor", "TaskOutcome", "default_start_method",
+    "result_checksum", "run_program_serial", "run_queries_multiproc",
+    "ship_value",
+]
+
+DEFAULT_PROCS = 2
+
+
+def default_start_method():
+    """``fork`` where available (cheap: workers inherit the imported
+    interpreter), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# canonical result form + checksums
+# ----------------------------------------------------------------------
+def ship_value(value):
+    """A picklable canonical form of one MIL/query result.
+
+    BATs become ``{"kind": "bat", "head": array, "tail": array}`` of
+    their logical values (materialised — the worker's memmaps never
+    cross the process boundary); everything else (scalars, ``None``,
+    materialised row lists) ships as ``{"kind": "value", ...}``.
+    """
+    if hasattr(value, "head") and hasattr(value, "tail"):
+        return {"kind": "bat",
+                "head": np.asarray(value.head.logical()),
+                "tail": np.asarray(value.tail.logical())}
+    return {"kind": "value", "value": value}
+
+
+def result_checksum(value):
+    """sha1 hex digest of a result under a canonical encoding.
+
+    Stable across processes for everything query execution produces:
+    ``None``, bools, ints, exact floats (``float.hex``), strings,
+    numpy arrays (dtype + raw bytes; object arrays element-wise),
+    lists/tuples/dicts, and the MOA value types (``Row`` via its
+    field names + values, ``Ref`` via class name + oid).
+    """
+    digest = hashlib.sha1()
+    _feed(digest, value)
+    return digest.hexdigest()
+
+
+def _feed(digest, value):
+    update = digest.update
+    if value is None:
+        update(b"N;")
+    elif isinstance(value, bool):
+        update(b"B%d;" % value)
+    elif isinstance(value, (int, np.integer)):
+        update(b"I" + str(int(value)).encode() + b";")
+    elif isinstance(value, (float, np.floating)):
+        update(b"F" + float(value).hex().encode() + b";")
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        update(b"S%d:" % len(encoded))
+        update(encoded)
+    elif isinstance(value, bytes):
+        update(b"Y%d:" % len(value))
+        update(value)
+    elif isinstance(value, np.ndarray):
+        if value.dtype == object:
+            update(b"O%d[" % len(value))
+            for item in value.tolist():
+                _feed(digest, item)
+            update(b"]")
+        else:
+            update(b"A" + value.dtype.str.encode()
+                   + str(value.shape).encode() + b":")
+            update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (list, tuple)):
+        update(b"L%d[" % len(value))
+        for item in value:
+            _feed(digest, item)
+        update(b"]")
+    elif isinstance(value, dict):
+        update(b"D%d{" % len(value))
+        for key in sorted(value):
+            _feed(digest, key)
+            _feed(digest, value[key])
+        update(b"}")
+    elif hasattr(value, "names") and hasattr(value, "values"):
+        # repro.moa.values.Row (duck-typed: no moa import from monet)
+        update(b"R[")
+        _feed(digest, list(value.names))
+        _feed(digest, list(value.values))
+        update(b"]")
+    elif hasattr(value, "class_name") and hasattr(value, "oid"):
+        # repro.moa.values.Ref
+        update(b"G" + value.class_name.encode("utf-8")
+               + b":" + str(int(value.oid)).encode() + b";")
+    else:
+        raise TypeError("cannot checksum result value of type %s"
+                        % type(value).__name__)
+
+
+# ----------------------------------------------------------------------
+# task outcome
+# ----------------------------------------------------------------------
+class TaskOutcome:
+    """One executed task, shipped back from a worker.
+
+    ``payload`` is ``("inline", canonical_value)`` or ``("file",
+    path)`` — use :meth:`value` on the parent side, which loads and
+    re-verifies file payloads against ``checksum``.
+    """
+
+    __slots__ = ("key", "checksum", "payload", "elapsed_ms", "stats",
+                 "generation", "pid")
+
+    def __init__(self, key, checksum, payload, elapsed_ms, stats,
+                 generation, pid):
+        self.key = key
+        self.checksum = checksum
+        self.payload = payload
+        self.elapsed_ms = elapsed_ms
+        #: per-task BufferStats of the worker's private manager
+        self.stats = stats
+        self.generation = generation
+        self.pid = pid
+
+    def value(self, verify=True):
+        """The shipped result (loading the result file when needed)."""
+        mode, body = self.payload
+        if mode == "inline":
+            return body
+        with open(body, "rb") as handle:
+            loaded = pickle.load(handle)
+        if verify and result_checksum(loaded) != self.checksum:
+            raise MILError(
+                "result file %s does not match its shipped checksum"
+                % body)
+        return loaded
+
+    def __repr__(self):
+        return ("TaskOutcome(%r, %.2fms, sha1=%s, gen=%s, pid=%d)"
+                % (self.key, self.elapsed_ms, self.checksum[:10],
+                   self.generation, self.pid))
+
+
+# ----------------------------------------------------------------------
+# worker side (module-level: must be picklable by reference)
+# ----------------------------------------------------------------------
+_STATE = {}
+
+
+def _worker_init(db_dir, expected_generation, page_size, ship,
+                 result_dir, lock_timeout):
+    manager = BufferManager(page_size=page_size)
+    set_manager(manager)
+    _STATE.update(db_dir=db_dir, generation=expected_generation,
+                  manager=manager, ship=ship, result_dir=result_dir,
+                  lock_timeout=lock_timeout, kernel=None, db=None,
+                  seq=0)
+
+
+def _worker_kernel():
+    if _STATE.get("kernel") is None:
+        if _STATE.get("db") is not None:
+            # a mixed workload reuses the query path's open kernel
+            # instead of mapping every heap file a second time
+            _STATE["kernel"] = _STATE["db"].kernel
+        else:
+            from .kernel import MonetKernel
+            _STATE["kernel"] = MonetKernel.open(
+                _STATE["db_dir"],
+                expected_generation=_STATE["generation"],
+                lock_timeout=_STATE["lock_timeout"])
+    return _STATE["kernel"]
+
+
+def _worker_db():
+    if _STATE.get("db") is None:
+        from ..tpcd.loader import open_tpcd
+        # a mixed workload wraps the MIL path's open kernel instead
+        # of mapping the whole catalog a second time (and vice versa:
+        # _worker_kernel reuses this db's kernel)
+        db, _report = open_tpcd(
+            _STATE["db_dir"],
+            expected_generation=_STATE["generation"],
+            lock_timeout=_STATE["lock_timeout"],
+            kernel=_STATE.get("kernel"))
+        _STATE["db"] = db
+    return _STATE["db"]
+
+
+def _run_task(task):
+    kind, key = task[0], task[1]
+    # resolve the catalog before the timer: the first task on each
+    # worker pays the (milliseconds-scale) mmap open, not the query
+    if kind == "query":
+        db = _worker_db()
+    else:
+        kernel = _worker_kernel()
+    manager = _STATE["manager"]
+    manager.reset_counters()
+    started = time.perf_counter()
+    if kind == "query":
+        from ..tpcd.queries import QUERIES
+        _kind, _key, number, overrides = task
+        result = QUERIES[number].run(db, overrides)
+        canonical = ship_value(result)
+    elif kind == "mil":
+        _kind, _key, program, fetch = task
+        interpreter = MILInterpreter(kernel)
+        interpreter.run(program)
+        canonical = {name: ship_value(interpreter.value(name))
+                     for name in fetch}
+    else:
+        raise MILError("unknown multiproc task kind %r" % (kind,))
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    checksum = result_checksum(canonical)
+    if _STATE["ship"] == "file":
+        # pid + per-process sequence number: unique across tasks and
+        # across repeated run_* calls on one executor, so a retained
+        # TaskOutcome's file is never overwritten by a later round
+        _STATE["seq"] += 1
+        path = os.path.join(_STATE["result_dir"],
+                            "result-%s-%d-%d.pkl"
+                            % (key, os.getpid(), _STATE["seq"]))
+        with open(path, "wb") as handle:
+            pickle.dump(canonical, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        payload = ("file", path)
+    else:
+        payload = ("inline", canonical)
+    opened = _STATE["db"].kernel if _STATE.get("db") is not None \
+        else _STATE["kernel"]
+    return TaskOutcome(key, checksum, payload, elapsed_ms,
+                       manager.snapshot(), opened.generation,
+                       os.getpid())
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class MultiprocExecutor:
+    """A pool of worker processes sharing one saved catalog.
+
+    Parameters
+    ----------
+    db_dir:
+        The saved database directory every worker reopens via mmap.
+    procs:
+        Worker process count.
+    expected_generation:
+        Catalog generation the workers must observe; defaults to the
+        generation on disk when the executor is created, so a save
+        racing the fan-out fails loudly instead of splitting the fleet
+        across snapshots.
+    ship:
+        ``"inline"`` returns result payloads through the pool pipe;
+        ``"file"`` writes one pickle per task under ``result_dir``
+        (default ``<db_dir>/_results``) and ships only the path — the
+        parent re-verifies the file against the sha1 on load.  File
+        names are unique per task, and the caller owns the directory's
+        lifecycle (nothing is deleted automatically).
+    start_method:
+        ``fork``/``spawn``/``forkserver``; default picks ``fork``
+        where the platform offers it.
+    """
+
+    def __init__(self, db_dir, procs=DEFAULT_PROCS, start_method=None,
+                 expected_generation=None, page_size=4096,
+                 ship="inline", result_dir=None, lock_timeout=None):
+        if ship not in ("inline", "file"):
+            raise ValueError("ship must be 'inline' or 'file'")
+        from .storage import catalog_generation
+        self.db_dir = os.fspath(db_dir)
+        self.procs = max(1, int(procs))
+        if expected_generation is None:
+            expected_generation = catalog_generation(self.db_dir)
+        self.generation = expected_generation
+        self.ship = ship
+        if ship == "file":
+            result_dir = os.fspath(
+                result_dir if result_dir is not None
+                else os.path.join(self.db_dir, "_results"))
+            os.makedirs(result_dir, exist_ok=True)
+        self.result_dir = result_dir
+        method = start_method or default_start_method()
+        if method == "fork":
+            # join any thread pool the chunked-parallel layer cached:
+            # forking with live worker threads can deadlock children
+            # on lock state copied mid-hold
+            from . import parallel
+            parallel.shutdown_pools()
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=self.procs, initializer=_worker_init,
+            initargs=(self.db_dir, self.generation, page_size, ship,
+                      result_dir, lock_timeout))
+
+    # ------------------------------------------------------------------
+    def map_tasks(self, tasks):
+        """Execute raw task tuples; returns outcomes in task order."""
+        # chunksize=1: tasks are coarse (whole queries), so greedy
+        # per-task dispatch beats pre-chunking for load balance
+        return self._pool.map(_run_task, list(tasks), chunksize=1)
+
+    def run_queries(self, numbers=None, overrides=None):
+        """Fan TPC-D queries over the workers.
+
+        ``numbers`` defaults to the whole query set; ``overrides`` is
+        an optional ``{number: params}`` dict.  Returns ``{number:
+        TaskOutcome}``.
+        """
+        if numbers is None:
+            from ..tpcd.queries import QUERIES
+            numbers = sorted(QUERIES)
+        numbers = list(numbers)       # consumed twice: tasks + zip
+        tasks = [("query", "q%d" % number, number,
+                  (overrides or {}).get(number)) for number in numbers]
+        outcomes = self.map_tasks(tasks)
+        return dict(zip(numbers, outcomes))
+
+    def run_programs(self, jobs):
+        """Execute whole MIL programs, one per task.
+
+        ``jobs`` is a list of ``(program, fetch_names)`` pairs; each
+        worker interprets its program against its own catalog and ships
+        ``{name: canonical value}`` for the requested variables.
+        Returns outcomes in job order.
+        """
+        tasks = [("mil", "p%d" % index, program, list(fetch))
+                 for index, (program, fetch) in enumerate(jobs)]
+        return self.map_tasks(tasks)
+
+    def run_partitioned(self, program, fetch):
+        """Split one MIL program into independent partitions and fan
+        them out (:func:`repro.monet.mil.partition_independent`).
+
+        Every partition executes — including ones that define no
+        fetched variable, keeping error behaviour identical to the
+        serial run.  Returns ``(env, outcomes)`` where ``env`` maps
+        each fetched variable to its canonical shipped value.
+        """
+        fetch = list(fetch)
+        parts = partition_independent(program)
+        jobs = []
+        for part in parts:
+            defined = set(part.defined_vars())
+            jobs.append((part, [name for name in fetch
+                                if name in defined]))
+        missing = set(fetch) - {name for _part, names in jobs
+                                for name in names}
+        if missing:
+            raise MILError("program never assigns fetched variable(s) "
+                           "%s" % sorted(missing))
+        outcomes = self.run_programs(jobs)
+        env = {}
+        for outcome in outcomes:
+            env.update(outcome.value())
+        return env, outcomes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merged_stats(outcomes):
+        """Fleet-wide BufferStats across an outcome collection."""
+        total = BufferStats()
+        values = outcomes.values() if isinstance(outcomes, dict) \
+            else outcomes
+        for outcome in values:
+            total.merge(outcome.stats)
+        return total
+
+    def close(self):
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self):
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+def run_queries_multiproc(db_dir, numbers=None, procs=DEFAULT_PROCS,
+                          **kwargs):
+    """One-shot convenience: fan queries over a fresh executor."""
+    with MultiprocExecutor(db_dir, procs=procs, **kwargs) as executor:
+        return executor.run_queries(numbers)
+
+
+def run_program_serial(kernel, program, fetch):
+    """Serial reference execution of a MIL program.
+
+    Returns ``(env, checksum)`` in the same canonical form the workers
+    ship, so callers can diff a serial run against
+    :meth:`MultiprocExecutor.run_partitioned` /
+    :meth:`~MultiprocExecutor.run_programs` byte for byte.
+    """
+    interpreter = MILInterpreter(kernel)
+    interpreter.run(program)
+    env = {name: ship_value(interpreter.value(name)) for name in fetch}
+    return env, result_checksum(env)

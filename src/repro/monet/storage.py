@@ -26,6 +26,21 @@ kernel in :mod:`repro.monet.kernel`:
   :mod:`repro.monet.buffer` against the pages the OS actually faulted
   into the process for the mapped files — turning the paper's central
   observable into a testable claim.
+* the **shared-catalog protocol** that makes one saved directory safe
+  for many concurrent processes (:class:`CatalogLock`,
+  :func:`catalog_generation`).  The manifest carries a monotonically
+  increasing *generation counter*; every save acquires an exclusive
+  advisory file lock (``catalog.lock``, ``flock``), bumps the counter
+  and rewrites the manifest atomically (write-temp + rename), and
+  every open reads the manifest and maps its heap files under a shared
+  lock.  Because heap files are only ever replaced via ``rename`` and
+  never truncated in place, a reader that already mapped a heap keeps
+  reading its opened generation untouched (the old inodes stay alive
+  under the mappings) — a writer can never tear pages out from under
+  an open reader.  A reader that loses the race between reading a
+  manifest and mapping its files (the writer pruned them first) sees a
+  :class:`~repro.errors.HeapError`, detects the generation moved, and
+  retries on the new manifest; see :func:`open_kernel`.
 
 File layout (all arrays little-endian, ``tofile`` raw format)::
 
@@ -38,13 +53,21 @@ File layout (all arrays little-endian, ``tofile`` raw format)::
     <dir>/<bat>.<slot>.order/.keys  hash accelerator arrays
 """
 
+import contextlib
 import json
 import mmap as _mmap
 import os
+import time
+
+try:
+    import fcntl
+except ImportError:                          # non-POSIX: advisory
+    fcntl = None                             # locking degrades to no-op
 
 import numpy as np
 
-from ..errors import CatalogError, HeapError
+from ..errors import (CatalogChangedError, CatalogError,
+                      CatalogLockTimeout, HeapError, StaleCatalogError)
 from . import atoms as _atoms
 from .accelerators.datavector import DataVector, DataVectorRegistry
 from .accelerators.hashidx import HashIndex
@@ -57,9 +80,150 @@ from .vectorized import MultiMap
 FORMAT = "repro-bat-catalog"
 VERSION = 1
 MANIFEST = "catalog.json"
+LOCKFILE = "catalog.lock"
 PAGESIZE = _mmap.PAGESIZE
 
+#: How long lock acquisition waits before CatalogLockTimeout.
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+#: How often open_kernel re-reads the manifest after losing the race
+#: against a concurrent save (files pruned between manifest read and
+#: heap mapping) before giving up with CatalogChangedError.
+OPEN_RETRIES = 3
+
 _PROP_FLAGS = ("hkey", "hordered", "tkey", "tordered")
+
+
+# ----------------------------------------------------------------------
+# shared-catalog locking
+# ----------------------------------------------------------------------
+class _NullLock:
+    """Degenerate lock: in-process backends need no file locking."""
+
+    #: in-process storage has no cross-process writers to race, so a
+    #: null lock counts as held (no lockless-race recheck needed)
+    held = True
+
+    @contextlib.contextmanager
+    def shared(self, timeout=None):
+        yield self
+
+    @contextlib.contextmanager
+    def exclusive(self, timeout=None):
+        yield self
+
+
+class CatalogLock:
+    """Advisory ``flock`` on ``<dir>/catalog.lock``.
+
+    Writers (:func:`save_kernel`) hold the *exclusive* lock across the
+    whole save — heap-file writes, manifest rename and pruning — so two
+    writers never interleave and a reader never observes a manifest
+    whose files are being pruned mid-open.  Readers
+    (:func:`open_kernel`) hold the *shared* lock only while reading the
+    manifest and mapping its heap files; once mapped, the inodes stay
+    alive regardless of later renames/unlinks, so readers drop the lock
+    immediately and queries run lock-free.
+
+    ``flock`` has no native timeout, so acquisition polls non-blocking
+    until ``timeout`` elapses and then raises
+    :class:`~repro.errors.CatalogLockTimeout`.  Re-entrant per
+    instance (a depth counter — backends hand out one cached instance
+    per directory) so ``save_tpcd`` can hold the writer lock around a
+    kernel save plus extra section writes.  On platforms without
+    ``fcntl`` the lock degrades to a no-op, and *readers* also degrade
+    to lock-free when the lock file cannot be created (missing
+    directory, read-only media) — opening a catalog never mutates the
+    filesystem; the retry-on-rewrite path in :func:`open_kernel`
+    covers the lockless race.
+    """
+
+    _POLL_S = 0.01
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._fd = None
+        self._depth = 0
+        self._exclusive = False
+
+    @contextlib.contextmanager
+    def _acquire(self, exclusive, timeout):
+        if fcntl is None:
+            yield self
+            return
+        if self._depth:
+            if exclusive and not self._exclusive:
+                raise CatalogError(
+                    "cannot upgrade a shared catalog lock to exclusive")
+            self._depth += 1
+            try:
+                yield self
+            finally:
+                self._depth -= 1
+            return
+        if timeout is None:
+            timeout = DEFAULT_LOCK_TIMEOUT
+        try:
+            if exclusive:
+                # writers are about to create files anyway
+                os.makedirs(os.path.dirname(self.path) or ".",
+                            exist_ok=True)
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            if exclusive:
+                raise
+            # readers degrade to lock-free rather than mutating the
+            # filesystem: the directory may not exist (a typo'd open
+            # must not litter it into existence) or the catalog may
+            # live on read-only media, where no writer can race us
+            # anyway and the manifest is still one atomic file
+            yield self
+            return
+        deadline = time.monotonic() + timeout
+        flag = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        while True:
+            try:
+                fcntl.flock(fd, flag | fcntl.LOCK_NB)
+                break
+            except (BlockingIOError, InterruptedError):
+                # held by someone else (or interrupted): poll on
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise CatalogLockTimeout(
+                        "%s catalog lock on %s still held after %.2fs"
+                        % ("exclusive" if exclusive else "shared",
+                           self.path, timeout)) from None
+                time.sleep(self._POLL_S)
+            except OSError:
+                # a real locking failure (e.g. ENOLCK on a share
+                # without lock support) must surface immediately,
+                # not masquerade as a timeout
+                os.close(fd)
+                raise
+        self._fd = fd
+        self._depth = 1
+        self._exclusive = exclusive
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            if not self._depth:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+                self._fd = None
+                self._exclusive = False
+
+    def shared(self, timeout=None):
+        """Context manager holding the reader (shared) lock."""
+        return self._acquire(False, timeout)
+
+    def exclusive(self, timeout=None):
+        """Context manager holding the writer (exclusive) lock."""
+        return self._acquire(True, timeout)
+
+    @property
+    def held(self):
+        return self._depth > 0
 
 
 def _le(dtype):
@@ -100,6 +264,11 @@ class HeapStorage:
 
     def prune(self, keep):
         """Drop stored arrays not named in ``keep`` (best effort)."""
+
+    def lock(self):
+        """The backend's :class:`CatalogLock` (no-op when storage is
+        process-local and needs no cross-process serialisation)."""
+        return _NullLock()
 
 
 class MemoryBackend(HeapStorage):
@@ -150,9 +319,17 @@ class MmapBackend(HeapStorage):
 
     def __init__(self, path):
         self.path = os.fspath(path)
+        self._lock = None
 
     def _file(self, name):
         return os.path.join(self.path, name)
+
+    def lock(self):
+        # one cached instance per backend so nested acquisition inside
+        # this process is re-entrant instead of self-deadlocking
+        if self._lock is None:
+            self._lock = CatalogLock(self._file(LOCKFILE))
+        return self._lock
 
     def write_array(self, name, array):
         os.makedirs(self.path, exist_ok=True)
@@ -236,9 +413,39 @@ def as_backend(target):
 
 
 # ----------------------------------------------------------------------
+# generation counter
+# ----------------------------------------------------------------------
+def catalog_generation(target):
+    """The saved catalog's generation counter (0 for pre-protocol
+    manifests that never recorded one); raises CatalogError when no
+    manifest exists."""
+    manifest = as_backend(target).read_manifest()
+    return _generation_of(manifest)
+
+
+def _generation_of(manifest):
+    generation = manifest.get("generation", 0)
+    if not isinstance(generation, int) or generation < 0:
+        raise CatalogError("manifest generation %r is not a "
+                           "non-negative integer" % (generation,))
+    return generation
+
+
+def _previous_generation(backend):
+    """Last durable generation, treating absent/corrupt manifests as 0
+    (a crashed save leaves no openable manifest; the counter must keep
+    moving forward regardless)."""
+    try:
+        return _generation_of(backend.read_manifest())
+    except CatalogError:
+        return 0
+
+
+# ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
-def save_kernel(kernel, target, meta=None):
+def save_kernel(kernel, target, meta=None, extra=None,
+                lock_timeout=None):
     """Persist a kernel catalog; returns the manifest dict.
 
     Every catalog BAT is written with its properties, alignment group
@@ -246,8 +453,20 @@ def save_kernel(kernel, target, meta=None):
     hash indexes); shared var heaps are written once and re-shared on
     open.  The manifest is written last, so a crashed save never
     leaves an openable-but-inconsistent database behind.
+
+    The whole save runs under the backend's **exclusive** catalog lock
+    and bumps the manifest's generation counter, so concurrent savers
+    serialise and concurrent readers always observe a complete
+    generation.  ``extra`` merges additional top-level sections into
+    the manifest (e.g. the TPC-D loader's persisted row-store
+    baseline); their referenced files are protected from pruning.
     """
     backend = as_backend(target)
+    with backend.lock().exclusive(lock_timeout):
+        return _save_kernel_locked(kernel, backend, meta, extra)
+
+
+def _save_kernel_locked(kernel, backend, meta, extra):
     groups = _AlignmentGroups()
     var_heaps = {}
     bats = {}
@@ -287,16 +506,24 @@ def save_kernel(kernel, target, meta=None):
     manifest = {
         "format": FORMAT,
         "version": VERSION,
+        "generation": _previous_generation(backend) + 1,
         "meta": dict(meta or {}),
         "alignment_groups": groups.tags,
         "var_heaps": var_heaps,
         "bats": bats,
         "datavectors": datavectors,
     }
+    for key, section in sorted((extra or {}).items()):
+        if key in manifest:
+            raise CatalogError("extra manifest section %r collides "
+                               "with a reserved key" % key)
+        manifest[key] = section
     backend.write_manifest(manifest)
     # with the new manifest durable, drop files it no longer
     # references (heap ids are process-global, so a re-save would
-    # otherwise strand the previous save's files forever)
+    # otherwise strand the previous save's files forever).  Readers
+    # that mapped the previous generation keep their inodes alive;
+    # only the directory entries go.
     backend.prune(_manifest_files(manifest))
     return manifest
 
@@ -325,6 +552,9 @@ def _manifest_files(manifest):
     for entry in manifest.get("datavectors", {}).values():
         if "extent" in entry:
             keep.add(entry["extent"]["file"])
+    for table in manifest.get("rowstore", {}).get("tables", {}).values():
+        for spec in table.values():
+            column_files(spec)
     return keep
 
 
@@ -437,19 +667,116 @@ def _save_accelerators(backend, var_heaps, name, bat, registries):
 # ----------------------------------------------------------------------
 # open
 # ----------------------------------------------------------------------
-def open_kernel(target, buffer_manager=None, kernel=None):
+def open_with_protocol(backend, map_manifest, expected_generation=None,
+                       lock_timeout=None, retries=OPEN_RETRIES):
+    """Read the manifest and map its files under the open protocol.
+
+    The one implementation of the reader side of the shared-catalog
+    protocol, shared by :func:`open_kernel` and the rowstore baseline
+    (:func:`repro.tpcd.rowstore.open_rowstore`): the manifest is read
+    and ``map_manifest(manifest)`` invoked under the backend's shared
+    lock; ``expected_generation`` pins the open (typed
+    ``StaleCatalogError``/``CatalogChangedError`` on mismatch); a
+    :class:`~repro.errors.HeapError` from ``map_manifest`` with a
+    moved generation retries on the new manifest, as does a
+    *lock-free* open (no ``fcntl``, unwritable lock file) whose
+    generation moved mid-mapping without tripping a ``HeapError``
+    (same file names, same sizes — only a save still in flight on
+    such a platform remains undetectable).  Returns
+    ``(result, generation)``.
+    """
+    attempt = 0
+    while True:
+        lock = backend.lock()
+        with lock.shared(lock_timeout):
+            manifest = backend.read_manifest()
+            generation = _generation_of(manifest)
+            if expected_generation is not None \
+                    and generation != expected_generation:
+                if generation < expected_generation:
+                    raise StaleCatalogError(
+                        "stale manifest: generation %d on disk, caller "
+                        "expects %d" % (generation, expected_generation))
+                raise CatalogChangedError(
+                    "catalog was rewritten: generation %d on disk, "
+                    "caller pinned %d" % (generation,
+                                          expected_generation))
+            try:
+                result = map_manifest(manifest)
+            except HeapError as exc:
+                # a writer replaced the catalog between our manifest
+                # read and the heap mapping (lockless reader or no
+                # fcntl): if the generation moved, retry on the new
+                # manifest; otherwise the database is really damaged
+                if expected_generation is None and attempt < retries \
+                        and _previous_generation(backend) != generation:
+                    attempt += 1
+                    continue
+                if _previous_generation(backend) != generation:
+                    raise CatalogChangedError(
+                        "catalog was rewritten while opening "
+                        "generation %d" % generation) from exc
+                raise
+            if not lock.held \
+                    and _previous_generation(backend) != generation:
+                if expected_generation is None and attempt < retries:
+                    attempt += 1
+                    continue
+                raise CatalogChangedError(
+                    "catalog was rewritten while opening generation "
+                    "%d (lock-free reader)" % generation)
+            return result, generation
+
+
+def open_kernel(target, buffer_manager=None, kernel=None,
+                expected_generation=None, lock_timeout=None,
+                retries=OPEN_RETRIES):
     """Reopen a saved catalog; returns a populated MonetKernel.
 
     Columns come back as ``np.memmap`` views (mmap backend) and var
     heaps decode lazily, so no heap data is read eagerly; properties
     are restored from the manifest rather than recomputed, and BATs of
     one alignment group come back mutually synced.
+
+    Shared-catalog protocol: the manifest is read and its heap files
+    mapped under the backend's *shared* lock, so a concurrent save
+    (exclusive lock) can never prune files out from under the mapping
+    pass.  ``expected_generation`` pins the open to one generation —
+    an older manifest raises :class:`~repro.errors.StaleCatalogError`,
+    a newer one :class:`~repro.errors.CatalogChangedError` (the worker
+    fan-out uses this so every process provably serves the same
+    snapshot).  Without a pin, losing the race between reading the
+    manifest and mapping its files (possible when the reader skipped
+    the lock, or on backends without ``fcntl``) retries on the newer
+    manifest up to ``retries`` times.  The returned kernel records
+    ``kernel.generation`` and ``kernel.origin``.
     """
-    from .kernel import MonetKernel, mark_persistent
+    from .kernel import MonetKernel
 
     backend = as_backend(target)
-    manifest = backend.read_manifest()
-    _check_manifest(manifest)
+    kernel_factory = (type(kernel) if kernel is not None
+                      else MonetKernel)
+    calls = {"count": 0}
+
+    def map_manifest(manifest):
+        _check_manifest(manifest)
+        calls["count"] += 1
+        target_kernel = kernel if calls["count"] == 1 \
+            and kernel is not None else kernel_factory(buffer_manager)
+        return _open_manifest(backend, manifest, target_kernel,
+                              buffer_manager)
+
+    opened, generation = open_with_protocol(
+        backend, map_manifest, expected_generation=expected_generation,
+        lock_timeout=lock_timeout, retries=retries)
+    opened.generation = generation
+    opened.origin = backend
+    return opened
+
+
+def _open_manifest(backend, manifest, kernel, buffer_manager):
+    from .kernel import MonetKernel, mark_persistent
+
     if kernel is None:
         kernel = MonetKernel(buffer_manager)
     tokens = [fresh_alignment(tag) for tag in manifest["alignment_groups"]]

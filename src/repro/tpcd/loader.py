@@ -112,7 +112,18 @@ def load_tpcd(dataset, kernel=None, db_dir=None):
 
 
 def save_tpcd(db, db_dir, dataset=None, meta=None):
-    """Persist a loaded TPC-D database; returns the manifest."""
+    """Persist a loaded TPC-D database; returns the manifest.
+
+    When the generating ``dataset`` is at hand, its n-ary base tables
+    are persisted alongside the BAT catalog (a ``rowstore`` manifest
+    section; see :func:`repro.tpcd.rowstore.open_rowstore`), so the
+    Figure 9 row-store comparator warm-starts from the same directory.
+    The whole save — heap files, row-store columns, manifest — runs
+    under the directory's exclusive catalog lock and bumps the
+    shared-catalog generation once.
+    """
+    from .rowstore import save_rowstore_tables
+
     full_meta = {"kind": "tpcd"}
     if dataset is not None:
         full_meta.update({
@@ -122,10 +133,27 @@ def save_tpcd(db, db_dir, dataset=None, meta=None):
                        for name, count in dataset.counts.items()},
         })
     full_meta.update(meta or {})
-    return db.kernel.save(db_dir, meta=full_meta)
+    backend = as_backend(db_dir)
+    with backend.lock().exclusive():
+        extra = None
+        if dataset is not None:
+            extra = {"rowstore": save_rowstore_tables(backend,
+                                                      dataset.tables)}
+        else:
+            # a dataset-less re-save must not destroy an already
+            # persisted baseline: carry the section forward so its
+            # files stay in the prune keep-set
+            try:
+                section = backend.read_manifest().get("rowstore")
+            except CatalogError:
+                section = None
+            if section is not None:
+                extra = {"rowstore": section}
+        return db.kernel.save(backend, meta=full_meta, extra=extra)
 
 
-def open_tpcd(db_dir):
+def open_tpcd(db_dir, expected_generation=None, lock_timeout=None,
+              kernel=None):
     """Reopen a saved TPC-D database; returns (MOADatabase, LoadReport).
 
     Needs no dataset at all — this is the dbgen-skipping warm start.
@@ -133,9 +161,32 @@ def open_tpcd(db_dir):
     views and answers every query through the physical (MIL) path;
     ``db.flat.data`` is ``None`` until a logical store is attached, so
     the reference-evaluator path is unavailable until then.
+
+    ``expected_generation`` pins the open to one shared-catalog
+    generation (see :mod:`repro.monet.storage`) — the multi-process
+    dispatcher passes it so every worker serves the same snapshot.
+    Passing an already-opened ``kernel`` wraps it instead of mapping
+    the catalog a second time (the dispatcher's mixed MIL + query
+    workloads use this).
     """
     started = time.perf_counter()
-    kernel = MonetKernel.open(db_dir)
+    if kernel is None:
+        kernel = MonetKernel.open(
+            db_dir, expected_generation=expected_generation,
+            lock_timeout=lock_timeout)
+    elif expected_generation is not None \
+            and kernel.generation != expected_generation:
+        # the pin binds pre-opened kernels too: a cached kernel from
+        # an older (or rolled-forward) generation must not silently
+        # masquerade as the pinned snapshot
+        from ..errors import CatalogChangedError, StaleCatalogError
+        if (kernel.generation or 0) < expected_generation:
+            raise StaleCatalogError(
+                "pre-opened kernel serves generation %s, caller "
+                "pinned %d" % (kernel.generation, expected_generation))
+        raise CatalogChangedError(
+            "pre-opened kernel serves generation %s, caller pinned %d"
+            % (kernel.generation, expected_generation))
     schema = tpcd_schema()
     db = MOADatabase(schema, kernel=kernel)
     db.flat = FlattenedDatabase(schema, kernel, None)

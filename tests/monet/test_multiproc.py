@@ -1,0 +1,241 @@
+"""Multi-process dispatcher: fan-out equality, shipping, partitioning.
+
+Workers reopen one saved TPC-D db_dir (zero-copy mmap, per-process
+BufferManager, pinned catalog generation) and the parent asserts their
+shipped sha1 checksums against serial execution of the same queries
+and MIL programs.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.errors import MILError, StaleCatalogError
+from repro.monet import (MILProgram, MonetKernel, MultiprocExecutor,
+                         Var, partition_independent, result_checksum,
+                         run_program_serial, ship_value)
+from repro.monet.multiproc import run_queries_multiproc
+from repro.tpcd import QUERIES, load_tpcd, open_tpcd
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="multi-process tests need the fork start "
+                          "method (spawn re-imports per worker, too "
+                          "slow for tier-1)")
+
+#: a representative query slice: scan+group (1), join chain (3),
+#: scalar aggregate (6), multiplex chain (13)
+QUERY_SLICE = (1, 3, 6, 13)
+
+
+@pytest.fixture(scope="module")
+def db_dir(tiny_tpcd, tmp_path_factory):
+    path = tmp_path_factory.mktemp("mpdb") / "db"
+    load_tpcd(tiny_tpcd, db_dir=path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def executor(db_dir):
+    with MultiprocExecutor(db_dir, procs=2) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def serial_db(db_dir):
+    db, report = open_tpcd(db_dir)
+    assert report.warm
+    return db
+
+
+# ----------------------------------------------------------------------
+# query fan-out
+# ----------------------------------------------------------------------
+def test_queries_match_serial_checksums(executor, serial_db):
+    outcomes = executor.run_queries(QUERY_SLICE)
+    assert sorted(outcomes) == sorted(QUERY_SLICE)
+    for number in QUERY_SLICE:
+        serial = result_checksum(
+            ship_value(QUERIES[number].run(serial_db)))
+        assert outcomes[number].checksum == serial, "Q%d" % number
+
+
+def test_outcomes_report_worker_provenance(executor, db_dir):
+    import os
+    outcomes = executor.run_queries((6, 12))
+    for outcome in outcomes.values():
+        assert outcome.pid != os.getpid()          # really off-process
+        assert outcome.generation == executor.generation == 1
+        assert outcome.elapsed_ms >= 0.0
+        # the per-process manager accounted the run (faults on a cold
+        # worker, hits once the resident set warmed across tasks)
+        assert outcome.stats.faults + outcome.stats.hits > 0
+
+
+def test_inline_payload_roundtrip(executor, serial_db):
+    outcome = executor.run_queries((6,))[6]
+    shipped = outcome.value()
+    assert shipped["kind"] == "value"
+    assert shipped["value"] == pytest.approx(QUERIES[6].run(serial_db))
+    assert result_checksum(shipped) == outcome.checksum
+
+
+def test_merged_stats_accumulate(executor):
+    outcomes = executor.run_queries(QUERY_SLICE)
+    total = MultiprocExecutor.merged_stats(outcomes)
+    assert total.faults == sum(outcome.stats.faults
+                               for outcome in outcomes.values())
+    assert total.as_dict()["faults"] == total.faults
+
+
+def test_run_queries_accepts_any_iterable(executor):
+    outcomes = executor.run_queries(iter((6, 12)))
+    assert sorted(outcomes) == [6, 12]           # iterator not eaten
+
+
+def test_run_queries_multiproc_convenience(db_dir, serial_db):
+    outcomes = run_queries_multiproc(db_dir, numbers=(6,), procs=2)
+    serial = result_checksum(ship_value(QUERIES[6].run(serial_db)))
+    assert outcomes[6].checksum == serial
+
+
+# ----------------------------------------------------------------------
+# result files
+# ----------------------------------------------------------------------
+def test_file_shipping_roundtrip(db_dir, tmp_path, serial_db):
+    with MultiprocExecutor(db_dir, procs=2, ship="file",
+                           result_dir=tmp_path) as pool:
+        outcomes = pool.run_queries((3, 6))
+        # a later round must not overwrite the first round's files:
+        # the retained outcomes still verify after the re-run
+        pool.run_queries((3, 6))
+    for number, outcome in outcomes.items():
+        mode, path = outcome.payload
+        assert mode == "file"
+        assert str(path).startswith(str(tmp_path))
+        shipped = outcome.value()                  # verifies the sha1
+        assert result_checksum(shipped) == outcome.checksum
+        serial = result_checksum(
+            ship_value(QUERIES[number].run(serial_db)))
+        assert outcome.checksum == serial
+
+
+def test_file_shipping_detects_corruption(db_dir, tmp_path):
+    with MultiprocExecutor(db_dir, procs=1, ship="file",
+                           result_dir=tmp_path) as pool:
+        outcome = pool.run_queries((6,))[6]
+    _mode, path = outcome.payload
+    with open(path, "wb") as handle:
+        pickle.dump({"kind": "value", "value": -1.0}, handle)
+    with pytest.raises(MILError):
+        outcome.value()
+    assert outcome.value(verify=False) == {"kind": "value",
+                                           "value": -1.0}
+
+
+# ----------------------------------------------------------------------
+# MIL programs
+# ----------------------------------------------------------------------
+def _two_chain_program():
+    program = MILProgram()
+    selected = program.emit("select", [Var("Item_quantity"), 10, 40])
+    joined = program.emit("join", [selected,
+                                   Var("Item_extendedprice")])
+    program.emit("aggr_all", [joined], fn="sum", target="total")
+    program.emit("group", [Var("Item_order")], target="groups")
+    return program
+
+
+def test_partition_independent_structure():
+    program = _two_chain_program()
+    parts = partition_independent(program)
+    assert [len(part) for part in parts] == [3, 1]
+    assert parts[0].defined_vars()[-1] == "total"
+    assert parts[1].defined_vars() == ["groups"]
+    # catalog-only references never connect statements
+    assert sum(len(part) for part in parts) == len(program)
+
+
+def test_partition_redefinition_stays_ordered():
+    program = MILProgram()
+    program.emit("select", [Var("Item_quantity"), 10, 40], target="x")
+    program.emit("select", [Var("Item_quantity"), 0, 5], target="x")
+    program.emit("ident", [Var("x")], target="y")
+    parts = partition_independent(program)
+    # write-after-write + read keep all three statements together,
+    # in original order
+    assert len(parts) == 1
+    assert [stmt.target for stmt in parts[0]] == ["x", "x", "y"]
+
+
+def test_run_programs_match_serial(executor, db_dir):
+    program = _two_chain_program()
+    kernel = MonetKernel.open(db_dir)
+    env, checksum = run_program_serial(kernel, program,
+                                       ["total", "groups"])
+    outcomes = executor.run_programs([(program, ["total", "groups"])])
+    assert outcomes[0].checksum == checksum
+    assert outcomes[0].value().keys() == env.keys()
+
+
+def test_run_partitioned_matches_serial(executor, db_dir):
+    program = _two_chain_program()
+    kernel = MonetKernel.open(db_dir)
+    env_serial, checksum = run_program_serial(kernel, program,
+                                              ["total", "groups"])
+    env, outcomes = executor.run_partitioned(program,
+                                             ["total", "groups"])
+    assert result_checksum(env) == checksum
+    assert env["total"]["value"] == env_serial["total"]["value"]
+    assert len(outcomes) == 2
+
+
+def test_run_partitioned_unknown_fetch_raises(executor):
+    with pytest.raises(MILError):
+        executor.run_partitioned(_two_chain_program(), ["nonsense"])
+
+
+# ----------------------------------------------------------------------
+# generation pinning across the fleet
+# ----------------------------------------------------------------------
+def test_workers_reject_mismatched_generation(db_dir):
+    with pytest.raises(StaleCatalogError):
+        with MultiprocExecutor(db_dir, procs=1,
+                               expected_generation=99) as pool:
+            pool.run_queries((6,))
+
+
+def test_open_tpcd_pin_binds_preopened_kernels(db_dir):
+    """The generation pin must hold even when a cached kernel is
+    wrapped instead of freshly opened."""
+    kernel = MonetKernel.open(db_dir)
+    with pytest.raises(StaleCatalogError):
+        open_tpcd(db_dir, expected_generation=kernel.generation + 1,
+                  kernel=kernel)
+    db, _report = open_tpcd(db_dir,
+                            expected_generation=kernel.generation,
+                            kernel=kernel)
+    assert db.kernel is kernel
+
+
+# ----------------------------------------------------------------------
+# checksum canon
+# ----------------------------------------------------------------------
+def test_result_checksum_distinguishes_types():
+    import numpy as np
+    from repro.moa.values import Ref, Row
+    values = [None, True, 1, 1.0, "1", b"1",
+              np.asarray([1, 2]), np.asarray([1.0, 2.0]),
+              [1, 2], (1, (2,)), {"a": 1}, {"a": 2},
+              Row([("a", 1)]), Row([("b", 1)]),
+              Ref("Order", 1), Ref("Order", 2)]
+    digests = [result_checksum(value) for value in values]
+    assert len(set(digests)) == len(digests)
+    # and is stable across calls (the multi-process contract)
+    assert digests == [result_checksum(value) for value in values]
+
+
+def test_result_checksum_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        result_checksum(object())

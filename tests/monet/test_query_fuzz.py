@@ -1,0 +1,447 @@
+"""Property-based differential query fuzzer (three-engine equality).
+
+Hypothesis generates random typed BATs — int/float/string columns,
+NaN keys, duplicates, empty operands — and random operator plans over
+them.  Every operator application is executed three ways:
+
+* **naive** — the BUN-at-a-time reference semantics, rebuilt here from
+  the :mod:`repro.monet.operators.naive` kernels and plain Python
+  dict/set loops (the executable specification),
+* **vectorized serial** — the real operators, parallel layer off,
+* **chunked parallel** — the same operators under a
+  :class:`~repro.monet.parallel.ParallelConfig` with a deliberately
+  tiny chunk budget (2 rows of 8-byte keys per chunk) and two workers,
+  so every chunked kernel path and merge really runs.
+
+Position/code/gather results must be **bit-identical** across all
+three; float aggregate sums compare to the last ulp
+(``np.allclose(rtol=1e-9)``) because the naive accumulation order and
+the chunked partial-sum association legitimately differ.
+
+NaN semantics are pinned throughout: a NaN key equals nothing (no join
+match, no membership), and every NaN occurrence forms its own group /
+survives dedup — the contract PR 3 established across the kernels.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.monet import bat_from_columns_values, compute_props
+from repro.monet import operators as ops
+from repro.monet import parallel as par
+from repro.monet.column import equality_keys
+from repro.monet.multiproc import result_checksum
+from repro.monet.operators import naive
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: 2 rows of 8-byte keys per chunk: every operand of 3+ rows chunks,
+#: so the merge paths run even on hypothesis-sized inputs
+TINY_CHUNKS = dict(workers=2, chunk_bytes=16, min_rows=1)
+
+
+def _bat(head_atom, heads, tail_atom, tails, props=False):
+    out = bat_from_columns_values(head_atom, list(heads), tail_atom,
+                                  list(tails))
+    if props:
+        out.props = compute_props(out)
+    return out
+
+
+def _buns(bat):
+    """(head values, tail values) of a result BAT, BUN order."""
+    return (np.asarray(bat.head.logical()),
+            np.asarray(bat.tail.logical()))
+
+
+def _assert_three_ways(op_fn, expected_buns, exact=True):
+    """Run an operator serially and chunked-parallel; compare both
+    against the naive-engine expectation."""
+    serial = _buns(op_fn())
+    with par.use(par.ParallelConfig(**TINY_CHUNKS)):
+        chunked = _buns(op_fn())
+    for label, got in (("serial", serial), ("parallel", chunked)):
+        for side, expected_col, got_col in zip(
+                ("head", "tail"), expected_buns, got):
+            if exact or got_col.dtype.kind not in "fc":
+                assert result_checksum(got_col) == \
+                    result_checksum(np.asarray(expected_col,
+                                               dtype=got_col.dtype)), \
+                    "%s engine diverges from naive on %s" % (label, side)
+            else:
+                assert np.allclose(got_col,
+                                   np.asarray(expected_col,
+                                              dtype=np.float64),
+                                   rtol=1e-9, atol=0.0, equal_nan=True)
+    # serial and chunked must agree bit-for-bit on shapes regardless
+    assert len(serial[0]) == len(chunked[0])
+
+
+# ----------------------------------------------------------------------
+# naive engine: reference semantics from the BUN-at-a-time kernels
+# ----------------------------------------------------------------------
+def naive_join(ab, cd):
+    left, right = naive.join_match(*equality_keys(ab.tail, cd.head))
+    heads, tails = _buns(ab)[0], _buns(cd)[1]
+    return heads[left], tails[right]
+
+
+def naive_semijoin(ab, cd):
+    mask = naive.membership_mask(*equality_keys(ab.head, cd.head))
+    heads, tails = _buns(ab)
+    return heads[mask], tails[mask]
+
+
+def naive_antijoin(ab, cd):
+    mask = naive.membership_mask(*equality_keys(ab.head, cd.head))
+    heads, tails = _buns(ab)
+    return heads[~mask], tails[~mask]
+
+
+def naive_select_range(ab, low, high):
+    heads, tails = _buns(ab)
+    keep = [pos for pos, value in enumerate(tails.tolist())
+            if (low is None or value >= low)
+            and (high is None or value <= high)]
+    return heads[keep], tails[keep]
+
+
+def naive_select_eq(ab, value):
+    heads, tails = _buns(ab)
+    keep = [pos for pos, v in enumerate(tails.tolist()) if v == value]
+    return heads[keep], tails[keep]
+
+
+def naive_group_codes(keys):
+    """Dense codes in sorted-distinct order; every NaN its own code
+    after the finite ones, in BUN order (the group1 contract)."""
+    keys = np.asarray(keys)
+    values = keys.tolist() if keys.dtype != object else list(keys)
+    finite = sorted({v for v in values if v == v})
+    rank = {v: code for code, v in enumerate(finite)}
+    out = np.empty(len(values), dtype=np.int64)
+    next_code = len(finite)
+    for pos, value in enumerate(values):
+        if value != value:                       # NaN
+            out[pos] = next_code
+            next_code += 1
+        else:
+            out[pos] = rank[value]
+    return out, next_code
+
+
+def naive_group1(ab):
+    codes, _n = naive_group_codes(ab.tail.keys())
+    return _buns(ab)[0], codes
+
+
+def naive_aggregate(func, ab):
+    keys = np.asarray(ab.head.keys())
+    heads, tails = _buns(ab)
+    values = keys.tolist()
+    distinct = sorted(set(values))
+    first_pos = {v: values.index(v) for v in distinct}
+    groups = {v: [] for v in distinct}
+    for v, tail in zip(values, tails.tolist()):
+        groups[v].append(tail)
+    out_heads = heads[[first_pos[v] for v in distinct]]
+    out_tails = []
+    for v in distinct:
+        members = groups[v]
+        if func == "count":
+            out_tails.append(len(members))
+        elif func == "sum":
+            out_tails.append(sum(members))
+        elif func == "avg":
+            out_tails.append(sum(members) / len(members))
+        elif func == "min":
+            out_tails.append(min(members))
+        else:
+            out_tails.append(max(members))
+    return out_heads, np.asarray(out_tails)
+
+
+def _pairs(bat):
+    heads, tails = _buns(bat)
+    heads = heads.tolist() if heads.dtype != object else list(heads)
+    tails = tails.tolist() if tails.dtype != object else list(tails)
+    return list(zip(heads, tails))
+
+
+def _dedup(pairs):
+    seen = set()
+    keep = []
+    for pos, pair in enumerate(pairs):
+        if pair not in seen:      # NaN pairs never equal: all survive
+            seen.add(pair)
+            keep.append(pos)
+    return keep
+
+
+def naive_unique(ab):
+    heads, tails = _buns(ab)
+    keep = _dedup(_pairs(ab))
+    return heads[keep], tails[keep]
+
+
+def naive_union(ab, cd):
+    heads = np.concatenate([_buns(ab)[0], _buns(cd)[0]])
+    tails = np.concatenate([_buns(ab)[1], _buns(cd)[1]])
+    keep = _dedup(_pairs(ab) + _pairs(cd))
+    return heads[keep], tails[keep]
+
+
+def naive_difference(ab, cd):
+    heads, tails = _buns(ab)
+    members = set(_pairs(cd))
+    keep = [pos for pos, pair in enumerate(_pairs(ab))
+            if pair not in members]
+    return heads[keep], tails[keep]
+
+
+def naive_intersection(ab, cd):
+    heads, tails = _buns(ab)
+    members = set(_pairs(cd))
+    seen = set()
+    keep = []
+    for pos, pair in enumerate(_pairs(ab)):
+        if pair in members and pair not in seen:
+            seen.add(pair)
+            keep.append(pos)
+    return heads[keep], tails[keep]
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+ints = st.integers(min_value=-4, max_value=4)           # heavy overlap
+floats = st.one_of(
+    st.just(float("nan")),
+    st.sampled_from([-1.5, 0.0, 0.5, 2.0, 1e300, -0.0]))
+strings = st.sampled_from(["", "a", "b", "bb", "Clerk#1", "zz"])
+
+int_lists = st.lists(ints, max_size=24)
+float_lists = st.lists(floats, max_size=24)
+string_lists = st.lists(strings, max_size=24)
+finite_float_lists = st.lists(
+    st.sampled_from([-1.5, 0.0, 0.5, 2.0, 3.25]), max_size=24)
+
+
+def _heads(n):
+    return list(range(n))
+
+
+# ----------------------------------------------------------------------
+# single-operator differentials
+# ----------------------------------------------------------------------
+@given(int_lists, int_lists, st.booleans())
+@settings(**SETTINGS)
+def test_join_differential_int(left, right, props):
+    ab = _bat("oid", _heads(len(left)), "long", left, props=props)
+    cd = _bat("long", right, "long", [v * 10 for v in right],
+              props=props)
+    _assert_three_ways(lambda: ops.join(ab, cd), naive_join(ab, cd))
+
+
+@given(string_lists, string_lists)
+@settings(**SETTINGS)
+def test_join_differential_strings(left, right):
+    ab = _bat("oid", _heads(len(left)), "string", left)
+    cd = _bat("string", right, "long", _heads(len(right)))
+    _assert_three_ways(lambda: ops.join(ab, cd), naive_join(ab, cd))
+
+
+@given(float_lists, float_lists, st.booleans())
+@settings(**SETTINGS)
+def test_join_differential_nan_keys(left, right, props):
+    ab = _bat("oid", _heads(len(left)), "double", left, props=props)
+    cd = _bat("double", right, "long", _heads(len(right)), props=props)
+    _assert_three_ways(lambda: ops.join(ab, cd), naive_join(ab, cd))
+
+
+@given(int_lists, int_lists, st.booleans())
+@settings(**SETTINGS)
+def test_semijoin_differential(left, right, props):
+    ab = _bat("long", left, "long", _heads(len(left)), props=props)
+    cd = _bat("long", right, "long", _heads(len(right)), props=props)
+    _assert_three_ways(lambda: ops.semijoin(ab, cd),
+                       naive_semijoin(ab, cd))
+    _assert_three_ways(lambda: ops.antijoin(ab, cd),
+                       naive_antijoin(ab, cd))
+
+
+@given(string_lists, string_lists)
+@settings(**SETTINGS)
+def test_semijoin_differential_strings(left, right):
+    ab = _bat("string", left, "long", _heads(len(left)))
+    cd = _bat("string", right, "long", _heads(len(right)))
+    _assert_three_ways(lambda: ops.semijoin(ab, cd),
+                       naive_semijoin(ab, cd))
+
+
+@given(float_lists, st.booleans())
+@settings(**SETTINGS)
+def test_semijoin_differential_nan_keys(keys, props):
+    ab = _bat("double", keys, "long", _heads(len(keys)), props=props)
+    cd = _bat("double", list(reversed(keys)), "long",
+              _heads(len(keys)), props=props)
+    _assert_three_ways(lambda: ops.semijoin(ab, cd),
+                       naive_semijoin(ab, cd))
+
+
+@given(int_lists, ints, ints, st.booleans())
+@settings(**SETTINGS)
+def test_select_range_differential(tails, low, high, props):
+    ab = _bat("oid", _heads(len(tails)), "long", tails, props=props)
+    _assert_three_ways(lambda: ops.select_range(ab, low, high),
+                       naive_select_range(ab, low, high))
+    _assert_three_ways(lambda: ops.select_range(ab, low, None),
+                       naive_select_range(ab, low, None))
+
+
+@given(int_lists, ints, st.booleans())
+@settings(**SETTINGS)
+def test_select_eq_differential(tails, value, props):
+    ab = _bat("oid", _heads(len(tails)), "long", tails, props=props)
+    _assert_three_ways(lambda: ops.select_eq(ab, value),
+                       naive_select_eq(ab, value))
+
+
+@given(st.one_of(int_lists, float_lists, string_lists))
+@settings(**SETTINGS)
+def test_group1_differential(tails):
+    atom = ("long" if all(isinstance(v, int) for v in tails)
+            else "double" if not any(isinstance(v, str) for v in tails)
+            else "string")
+    ab = _bat("oid", _heads(len(tails)), atom, tails)
+    _assert_three_ways(lambda: ops.group1(ab), naive_group1(ab))
+
+
+@given(int_lists, st.sampled_from(ops.AGGREGATES), st.booleans())
+@settings(**SETTINGS)
+def test_aggregate_differential_int(keys, func, floats_tail):
+    tails = ([v * 0.25 for v in range(len(keys))] if floats_tail
+             else list(range(len(keys))))
+    atom = "double" if floats_tail else "long"
+    ab = _bat("long", keys, atom, tails)
+    exact = func in ("count", "min", "max") or \
+        (func == "sum" and not floats_tail)
+    _assert_three_ways(lambda: ops.set_aggregate(func, ab),
+                       naive_aggregate(func, ab), exact=exact)
+
+
+@given(int_lists, int_lists)
+@settings(**SETTINGS)
+def test_setops_differential(left, right):
+    ab = _bat("long", left, "long", [v % 3 for v in left])
+    cd = _bat("long", right, "long", [v % 3 for v in right])
+    _assert_three_ways(lambda: ops.unique(ab), naive_unique(ab))
+    _assert_three_ways(lambda: ops.difference(ab, cd),
+                       naive_difference(ab, cd))
+    _assert_three_ways(lambda: ops.intersection(ab, cd),
+                       naive_intersection(ab, cd))
+    _assert_three_ways(lambda: ops.union(ab, cd), naive_union(ab, cd))
+
+
+@given(float_lists, float_lists)
+@settings(**SETTINGS)
+def test_setops_differential_nan_tails(left, right):
+    ab = _bat("oid", [v % 4 for v in _heads(len(left))], "double", left)
+    cd = _bat("oid", [v % 4 for v in _heads(len(right))], "double",
+              right)
+    _assert_three_ways(lambda: ops.unique(ab), naive_unique(ab))
+    _assert_three_ways(lambda: ops.difference(ab, cd),
+                       naive_difference(ab, cd))
+    _assert_three_ways(lambda: ops.intersection(ab, cd),
+                       naive_intersection(ab, cd))
+
+
+def test_empty_bats_every_op():
+    """Empty operands flow through every fuzzed operator, three ways."""
+    empty = _bat("long", [], "long", [])
+    other = _bat("long", [1, 2, 2], "long", [0, 1, 2])
+    cases = [
+        (lambda: ops.join(empty, other), naive_join(empty, other)),
+        (lambda: ops.join(other, empty), naive_join(other, empty)),
+        (lambda: ops.semijoin(empty, other),
+         naive_semijoin(empty, other)),
+        (lambda: ops.semijoin(other, empty),
+         naive_semijoin(other, empty)),
+        (lambda: ops.select_range(empty, 0, 1),
+         naive_select_range(empty, 0, 1)),
+        (lambda: ops.unique(empty), naive_unique(empty)),
+        (lambda: ops.difference(empty, other),
+         naive_difference(empty, other)),
+        (lambda: ops.difference(other, empty),
+         naive_difference(other, empty)),
+        (lambda: ops.intersection(other, empty),
+         naive_intersection(other, empty)),
+        (lambda: ops.union(empty, other), naive_union(empty, other)),
+        (lambda: ops.group1(empty), naive_group1(empty)),
+    ]
+    for op_fn, expected in cases:
+        _assert_three_ways(op_fn, expected)
+
+
+# ----------------------------------------------------------------------
+# composite random plans
+# ----------------------------------------------------------------------
+_PLAN_OPS = ("join", "semijoin", "select", "unique", "difference",
+             "intersection", "union", "group")
+
+
+@given(int_lists, int_lists,
+       st.lists(st.tuples(st.sampled_from(_PLAN_OPS), ints, ints),
+                min_size=1, max_size=4))
+@settings(**SETTINGS)
+def test_random_plan_differential(left, right, steps):
+    """Random multi-operator plans, checked step by step.
+
+    The serial engine drives the plan; at every step the naive mirror
+    and the chunked-parallel engine run on the *same* inputs, so each
+    operator is exercised on realistically-shaped intermediates (join
+    outputs, deduped sets, group codes) instead of only on fresh base
+    BATs.
+    """
+    pool = [
+        _bat("long", left, "long", [v % 3 for v in left]),
+        _bat("long", right, "long", [v * 2 for v in right]),
+        _bat("long", _heads(len(left)), "long", left),
+    ]
+    for op_name, pick_a, pick_b in steps:
+        ab = pool[pick_a % len(pool)]
+        cd = pool[pick_b % len(pool)]
+        if op_name == "join":
+            op_fn = lambda a=ab, c=cd: ops.join(a, c)
+            expected = naive_join(ab, cd)
+        elif op_name == "semijoin":
+            op_fn = lambda a=ab, c=cd: ops.semijoin(a, c)
+            expected = naive_semijoin(ab, cd)
+        elif op_name == "select":
+            low, high = sorted((pick_a, pick_b))
+            op_fn = lambda a=ab, lo=low, hi=high: \
+                ops.select_range(a, lo, hi)
+            expected = naive_select_range(ab, low, high)
+        elif op_name == "unique":
+            op_fn = lambda a=ab: ops.unique(a)
+            expected = naive_unique(ab)
+        elif op_name == "difference":
+            op_fn = lambda a=ab, c=cd: ops.difference(a, c)
+            expected = naive_difference(ab, cd)
+        elif op_name == "intersection":
+            op_fn = lambda a=ab, c=cd: ops.intersection(a, c)
+            expected = naive_intersection(ab, cd)
+        elif op_name == "union":
+            op_fn = lambda a=ab, c=cd: ops.union(a, c)
+            expected = naive_union(ab, cd)
+        else:
+            op_fn = lambda a=ab: ops.group1(a)
+            expected = naive_group1(ab)
+        _assert_three_ways(op_fn, expected)
+        if op_name != "group":
+            # every other op is closed over [long, long] BATs; group1
+            # introduces an oid tail, which later set operations could
+            # not legally concatenate with a long operand
+            pool.append(op_fn())

@@ -1,0 +1,298 @@
+"""Shared-catalog protocol: generation counter, locking, concurrency.
+
+The contract under test (see :mod:`repro.monet.storage`):
+
+* every save bumps the manifest **generation** under the exclusive
+  catalog lock, so writers serialise and the counter is monotonic;
+* readers open under the shared lock and can pin a generation —
+  the three edge cases (stale manifest, lock-held timeout,
+  reopen-after-rewrite) each raise their own typed
+  :class:`~repro.errors.CatalogError` subclass;
+* a reader that already mapped a generation keeps serving it untouched
+  while writers rewrite the directory (rename/unlink semantics), and
+  fresh opens racing a writer either land on a complete old or a
+  complete new generation — never on a torn mix.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import (CatalogChangedError, CatalogError,
+                          CatalogLockTimeout, StaleCatalogError)
+from repro.monet import MonetKernel
+from repro.monet.storage import (MemoryBackend, as_backend,
+                                 catalog_generation)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+fork_only = pytest.mark.skipif(not HAVE_FORK,
+                               reason="needs the fork start method")
+
+
+def build_kernel(marker):
+    """Two aligned BATs whose every tail equals ``marker`` — a torn
+    read (mixing files of two generations) is detectable as a mixed
+    or mismatched marker set."""
+    kernel = MonetKernel()
+    kernel.dense_bat("a", "long", [marker] * 16, group="g")
+    kernel.dense_bat("b", "long", [marker] * 16, group="g")
+    return kernel
+
+
+def markers_of(kernel):
+    a = set(np.asarray(kernel.get("a").tail.logical()).tolist())
+    b = set(np.asarray(kernel.get("b").tail.logical()).tolist())
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# generation counter
+# ----------------------------------------------------------------------
+def test_save_assigns_generation_one(tmp_path):
+    manifest = build_kernel(1).save(tmp_path / "db")
+    assert manifest["generation"] == 1
+    assert catalog_generation(tmp_path / "db") == 1
+
+
+def test_resave_bumps_generation(tmp_path):
+    kernel = build_kernel(1)
+    kernel.save(tmp_path / "db")
+    kernel.save(tmp_path / "db")
+    assert build_kernel(2).save(tmp_path / "db")["generation"] == 3
+    assert catalog_generation(tmp_path / "db") == 3
+
+
+def test_catalog_generation_requires_manifest(tmp_path):
+    with pytest.raises(CatalogError):
+        catalog_generation(tmp_path / "nothing")
+
+
+def test_open_never_litters_missing_directories(tmp_path):
+    """Opening a typo'd path must not create directories or lock
+    files on the way to its CatalogError (readers degrade to
+    lock-free when the lock file cannot be created)."""
+    target = tmp_path / "no" / "such" / "db"
+    with pytest.raises(CatalogError):
+        MonetKernel.open(target)
+    assert not (tmp_path / "no").exists()
+
+
+def test_memory_backend_generations():
+    backend = MemoryBackend()
+    build_kernel(1).save(backend)
+    build_kernel(2).save(backend)
+    assert catalog_generation(backend) == 2
+    assert MonetKernel.open(backend, expected_generation=2) is not None
+
+
+def test_open_records_generation_and_origin(tmp_path):
+    build_kernel(7).save(tmp_path / "db")
+    kernel = MonetKernel.open(tmp_path / "db")
+    assert kernel.generation == 1
+    assert kernel.origin is not None
+    assert not kernel.is_stale()
+    kernel.assert_current()
+
+
+def test_pre_protocol_manifest_reads_as_generation_zero(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    manifest_path = tmp_path / "db" / "catalog.json"
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["generation"]                  # a PR 2-era save
+    manifest_path.write_text(json.dumps(manifest))
+    kernel = MonetKernel.open(tmp_path / "db")
+    assert kernel.generation == 0
+    # the next save still moves the counter forward
+    assert build_kernel(2).save(tmp_path / "db")["generation"] == 1
+
+
+def test_invalid_generation_raises_catalog_error(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    manifest_path = tmp_path / "db" / "catalog.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["generation"] = "three"
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(CatalogError):
+        MonetKernel.open(tmp_path / "db")
+
+
+# ----------------------------------------------------------------------
+# typed edge cases: stale / rewritten / lock timeout
+# ----------------------------------------------------------------------
+def test_open_pinned_generation(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    kernel = MonetKernel.open(tmp_path / "db", expected_generation=1)
+    assert kernel.generation == 1
+
+
+def test_open_stale_manifest_raises(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    with pytest.raises(StaleCatalogError) as info:
+        MonetKernel.open(tmp_path / "db", expected_generation=4)
+    assert "stale manifest" in str(info.value)
+    assert "generation 1" in str(info.value)
+
+
+def test_open_after_rewrite_raises(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    build_kernel(2).save(tmp_path / "db")
+    with pytest.raises(CatalogChangedError) as info:
+        MonetKernel.open(tmp_path / "db", expected_generation=1)
+    assert "rewritten" in str(info.value)
+
+
+def test_is_stale_and_assert_current_after_rewrite(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    reader = MonetKernel.open(tmp_path / "db")
+    assert not reader.is_stale()
+    build_kernel(2).save(tmp_path / "db")
+    assert reader.is_stale()
+    with pytest.raises(CatalogChangedError):
+        reader.assert_current()
+
+
+def test_is_stale_when_origin_unreadable(tmp_path):
+    import shutil
+    build_kernel(1).save(tmp_path / "db")
+    reader = MonetKernel.open(tmp_path / "db")
+    shutil.rmtree(tmp_path / "db")
+    # the predicate form stays a predicate: an unreadable origin
+    # means "do not trust this snapshot", not an exception
+    assert reader.is_stale()
+
+
+def test_assert_current_detects_rollback(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    build_kernel(2).save(tmp_path / "db")
+    reader = MonetKernel.open(tmp_path / "db")
+    manifest_path = tmp_path / "db" / "catalog.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["generation"] = 1                   # rolled-back directory
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StaleCatalogError):
+        reader.assert_current()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX locks")
+def test_lock_held_timeout(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    holder = as_backend(tmp_path / "db")
+    with holder.lock().exclusive():
+        # a different backend instance = a different lock fd, so this
+        # conflicts exactly like a second process would
+        with pytest.raises(CatalogLockTimeout):
+            MonetKernel.open(tmp_path / "db", lock_timeout=0.05)
+        with pytest.raises(CatalogLockTimeout):
+            build_kernel(2).save(tmp_path / "db", lock_timeout=0.05)
+    # lock released: both sides proceed
+    MonetKernel.open(tmp_path / "db")
+    build_kernel(2).save(tmp_path / "db")
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX locks")
+def test_lock_reentrant_and_shared_coexistence(tmp_path):
+    build_kernel(1).save(tmp_path / "db")
+    backend = as_backend(tmp_path / "db")
+    with backend.lock().exclusive():
+        with backend.lock().exclusive():         # re-entrant writer
+            build_kernel(2).save(backend)
+    assert catalog_generation(backend) == 2
+    reader_a = as_backend(tmp_path / "db")
+    reader_b = as_backend(tmp_path / "db")
+    with reader_a.lock().shared():
+        with reader_b.lock().shared():           # readers coexist
+            assert catalog_generation(reader_b) == 2
+
+
+# ----------------------------------------------------------------------
+# reader isolation: an open generation is never clobbered
+# ----------------------------------------------------------------------
+def test_reader_keeps_its_generation_across_rewrites(tmp_path):
+    build_kernel(11).save(tmp_path / "db")
+    reader = MonetKernel.open(tmp_path / "db")
+    before = markers_of(reader)
+    for marker in (22, 33):
+        build_kernel(marker).save(tmp_path / "db")
+    # the reader's mmaps still serve generation 1 bit-for-bit
+    assert markers_of(reader) == before == ({11}, {11})
+    # a fresh open serves the newest generation
+    assert markers_of(MonetKernel.open(tmp_path / "db")) == ({33}, {33})
+
+
+# ----------------------------------------------------------------------
+# multi-process stress
+# ----------------------------------------------------------------------
+def _writer_proc(db_dir, markers):
+    for marker in markers:
+        build_kernel(marker).save(db_dir)
+
+
+def _reader_proc(db_dir, rounds, queue):
+    try:
+        generations = set()
+        for _round in range(rounds):
+            kernel = MonetKernel.open(db_dir)
+            a, b = markers_of(kernel)
+            if not (len(a) == 1 and a == b):
+                queue.put(("torn", sorted(a), sorted(b)))
+                return
+            generations.add(kernel.generation)
+        queue.put(("ok", sorted(generations)))
+    except Exception as exc:                     # crash = test failure
+        queue.put(("error", type(exc).__name__, str(exc)))
+
+
+@fork_only
+def test_readers_never_crash_or_tear_while_writer_saves(tmp_path):
+    """N reader processes open the db_dir while a writer rewrites it:
+    every open lands on one complete generation (old or new), and no
+    reader ever crashes or observes torn heaps."""
+    db_dir = os.fspath(tmp_path / "db")
+    build_kernel(1).save(db_dir)
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    readers = [context.Process(target=_reader_proc,
+                               args=(db_dir, 12, queue))
+               for _reader in range(2)]
+    writer = context.Process(target=_writer_proc,
+                             args=(db_dir, list(range(2, 14))))
+    for process in readers + [writer]:
+        process.start()
+    reports = [queue.get(timeout=60) for _reader in readers]
+    for process in readers + [writer]:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    for report in reports:
+        assert report[0] == "ok", report
+        assert all(generation >= 1 for generation in report[1])
+    # the directory is left fully consistent at the last generation
+    assert markers_of(MonetKernel.open(db_dir)) == ({13}, {13})
+    assert catalog_generation(db_dir) == 13
+
+
+def _competing_writer(db_dir, markers):
+    for marker in markers:
+        build_kernel(marker).save(db_dir)
+
+
+@fork_only
+def test_concurrent_writers_serialize_generations(tmp_path):
+    """Two writer processes interleave saves: the exclusive lock makes
+    the generation counter strictly monotonic with no lost updates."""
+    db_dir = os.fspath(tmp_path / "db")
+    build_kernel(0).save(db_dir)
+    context = multiprocessing.get_context("fork")
+    writers = [context.Process(target=_competing_writer,
+                               args=(db_dir, [100 + which] * 4))
+               for which in range(2)]
+    for process in writers:
+        process.start()
+    for process in writers:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    assert catalog_generation(db_dir) == 1 + 2 * 4
+    a, b = markers_of(MonetKernel.open(db_dir))
+    assert len(a) == 1 and a == b and a.issubset({100, 101})

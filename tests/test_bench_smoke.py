@@ -58,9 +58,13 @@ def test_quick_bench_db_dir_warm_start(tmp_path):
 
     # gate disabled: this test asserts warm/cold *result* equality,
     # not timing stability of reps=2 micro-medians on a busy machine;
-    # --workers 0 opts out of the parallel sweep entirely
+    # --workers 0 opts out of the parallel sweep entirely, --procs 2
+    # runs the query set through the multi-process dispatcher (the
+    # harness hard-errors unless every worker checksum equals the
+    # serial run's)
     assert main(["--quick", "--out", str(out), "--db-dir", str(db_dir),
-                 "--no-regression-check", "--workers", "0"]) == 0
+                 "--no-regression-check", "--workers", "0",
+                 "--procs", "2"]) == 0
     warm = json.loads(out.read_text())
     assert warm["load"]["warm_start"] is True
     assert "parallel" not in warm
@@ -71,6 +75,16 @@ def test_quick_bench_db_dir_warm_start(tmp_path):
     for number in cold["queries"]:
         assert warm["queries"][number]["rows"] == \
             cold["queries"][number]["rows"], number
+        # ...and checksum-identical to the cold run, both serially and
+        # across the worker fleet
+        assert warm["queries"][number]["checksum"] == \
+            cold["queries"][number]["checksum"], number
+    section = warm["multiproc"]
+    assert section["procs"] == 2
+    assert section["checksums_match"] is True
+    assert set(section["queries"]) == set(cold["queries"])
+    for number, entry in section["queries"].items():
+        assert entry["checksum"] == cold["queries"][number]["checksum"]
 
 
 def test_regression_gate():
