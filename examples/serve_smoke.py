@@ -1,0 +1,173 @@
+"""Query-service smoke: concurrent clients vs an independent serial run.
+
+Starts ``python -m repro.server`` as a real subprocess on a saved
+TPC-D catalog, fans ``--clients`` concurrent :class:`QueryClient`
+connections over the **full query set**, and diffs every returned
+sha1 checksum against a serial execution computed independently in
+this process.  Single-statement queries are additionally issued as
+textual Moa requests a second time, so the server's per-worker plan
+cache demonstrably engages (the run fails if the stats response shows
+zero plan-cache hits).
+
+This is both the README's client example and the CI server-smoke job::
+
+    python examples/serve_smoke.py --db-dir /tmp/tpcd-db --clients 4
+
+A missing ``--db-dir`` is built at ``--sf`` first (dbgen + load +
+save), so the script is self-contained.  Exit status 0 = every
+checksum matched.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.monet.multiproc import result_checksum, ship_value
+from repro.server import QueryClient
+from repro.tpcd import (QUERIES, generate, load_tpcd, open_tpcd,
+                        peek_tpcd_meta)
+
+
+def ensure_db(db_dir, sf, seed):
+    meta = peek_tpcd_meta(db_dir)
+    if meta is not None:
+        print("using saved catalog %s (sf=%s, seed=%s)"
+              % (db_dir, meta.get("scale"), meta.get("seed")))
+        return
+    print("building catalog %s at sf=%s ..." % (db_dir, sf))
+    dataset = generate(scale=sf, seed=seed)
+    load_tpcd(dataset, db_dir=db_dir)
+
+
+def serial_checksums(db_dir):
+    """Independent serial run: open our own kernel, execute, digest."""
+    db, _report = open_tpcd(db_dir)
+    checksums = {}
+    for number in sorted(QUERIES):
+        checksums[number] = result_checksum(
+            ship_value(QUERIES[number].run(db)))
+    return checksums
+
+
+def start_server(db_dir, procs, tmp_dir):
+    port_file = os.path.join(tmp_dir, "server.port")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--db-dir",
+         str(db_dir), "--port", "0", "--procs", str(procs),
+         "--port-file", port_file],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 60.0
+    while not os.path.exists(port_file):
+        if process.poll() is not None or time.monotonic() > deadline:
+            # kill before reading: draining stdout of a live process
+            # would block on a pipe that never reaches EOF
+            process.kill()
+            try:
+                output = process.communicate(timeout=10)[0] or ""
+            except subprocess.TimeoutExpired:
+                output = ""
+            raise RuntimeError("server did not come up:\n" + output)
+        time.sleep(0.05)
+    with open(port_file) as handle:
+        host, port = handle.read().split()
+    return process, host, int(port)
+
+
+def client_pass(host, port, expected, failures, latencies, lock, tid):
+    try:
+        with QueryClient(host, port) as client:
+            for number in sorted(QUERIES):
+                texts = QUERIES[number].texts()
+                replies = [client.tpcd(number)]
+                if len(texts) == 1:
+                    # second lap as raw Moa text: same checksum, and
+                    # repeated texts warm the per-worker plan cache
+                    replies.append(client.moa(texts[0]))
+                for reply in replies:
+                    if reply.checksum != expected[number]:
+                        raise AssertionError(
+                            "Q%d diverged on client %d: served %s, "
+                            "serial %s" % (number, tid, reply.checksum,
+                                           expected[number]))
+                    with lock:
+                        latencies.append(reply.service_ms)
+    except BaseException as exc:                # noqa: BLE001
+        with lock:
+            failures.append((tid, exc))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--db-dir", required=True)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--procs", type=int, default=2)
+    parser.add_argument("--sf", type=float, default=0.0005,
+                        help="scale factor when the catalog must be "
+                             "built first")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    ensure_db(args.db_dir, args.sf, args.seed)
+    expected = serial_checksums(args.db_dir)
+    print("serial run: %d queries digested" % len(expected))
+
+    process, host, port = start_server(args.db_dir, args.procs,
+                                       tempfile.mkdtemp(
+                                           prefix="serve-smoke-"))
+    print("server up on %s:%d (pid %d)" % (host, port, process.pid))
+    try:
+        failures, latencies = [], []
+        lock = threading.Lock()
+        started = time.perf_counter()
+        threads = [threading.Thread(target=client_pass,
+                                    args=(host, port, expected,
+                                          failures, latencies, lock,
+                                          tid))
+                   for tid in range(args.clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if failures:
+            for tid, exc in failures:
+                print("client %d FAILED: %r" % (tid, exc))
+            return 1
+        with QueryClient(host, port) as client:
+            stats = client.stats()
+        plan = stats["plan_cache"]
+        print("%d clients x %d queries: %d verified replies in %.2fs "
+              "(%.1f q/s)" % (args.clients, len(expected),
+                              len(latencies), wall,
+                              len(latencies) / max(wall, 1e-9)))
+        print("latency p50/p95/p99: %s/%s/%s ms over last %d"
+              % (stats["latency_ms"]["p50"], stats["latency_ms"]["p95"],
+                 stats["latency_ms"]["p99"],
+                 stats["latency_ms"]["count"]))
+        print("plan cache: %(hits)d hits / %(misses)d misses "
+              "(hit rate %(hit_rate)s)" % plan)
+        print("buffer faults across the fleet: %d"
+              % stats["buffer"]["faults"])
+        # each client issues each Moa text once and caches are per
+        # worker, so a fleet-wide hit is only pigeonhole-guaranteed
+        # when more clients than workers executed each text
+        if args.clients > args.procs and plan["hits"] == 0:
+            print("FAILED: no plan-cache hits observed")
+            return 1
+        print("OK: every served checksum matches the independent "
+              "serial run")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,30 @@ def ascii_chart(grid, series, width=64, height=18, title=None):
     return "\n".join(lines)
 
 
+def percentiles(values, points=(50, 95, 99)):
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of a sample.
+
+    Linear interpolation between closest ranks (numpy's default
+    ``quantile`` method), implemented locally so stats code that runs
+    inside the query service never materialises an array per request.
+    Empty input yields ``None`` for every point — serving stats start
+    life before the first request has a latency.
+    """
+    result = {}
+    if not values:
+        return {("p%g" % point): None for point in points}
+    ordered = sorted(values)
+    top = len(ordered) - 1
+    for point in points:
+        rank = top * (point / 100.0)
+        lower = int(math.floor(rank))
+        upper = min(top, lower + 1)
+        weight = rank - lower
+        value = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+        result["p%g" % point] = round(value, 4)
+    return result
+
+
 def geometric_mean(values):
     """Geometric mean, as in the paper's QppD metric."""
     values = [v for v in values if v > 0]

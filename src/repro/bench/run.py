@@ -56,6 +56,22 @@ used, and the catalog generation served.  Serial query entries always
 record their own ``checksum``, which is what the CI step diffs
 between a serial and a ``--procs 2`` run.
 
+``--serve N`` (repeatable, needs ``--db-dir``) drives the whole stack
+through the **concurrent query service** (:mod:`repro.server`): a
+socket server is started in-process on an ephemeral port, and each
+requested concurrency level runs that many closed-loop clients, each
+executing the full TPC-D query set over the wire for several rounds —
+single-statement queries as textual Moa requests (exercising the
+per-worker plan cache), the two-phase queries (11/14/15) as ``tpcd``
+requests.  Every reply checksum is asserted equal to the serial run of
+the same query (hard ``RuntimeError`` on divergence) and a ``serve``
+section records the concurrency sweep — requests, wall, throughput,
+and p50/p95/p99 request latencies per client count — plus the
+server-side stats (plan-cache hit rate, admission counters, merged
+buffer faults).  Query entries record p50/p95/p99 over their reps
+alongside the median for the same reason: tail latency is the serving
+observable.
+
 The harness **fails with a nonzero exit** when any operator or query
 median regresses by more than 2x against the previous JSON at the
 output path (same scale + mode only; disable with
@@ -68,6 +84,7 @@ import os
 import platform
 import statistics
 import sys
+import threading
 import time
 
 import numpy as np
@@ -85,11 +102,15 @@ from ..monet.optimizer import dispatch_disabled
 from ..monet.storage import PAGESIZE, residency_report, residency_snapshot
 from ..monet import vectorized as vz
 from ..tpcd import QUERIES, generate, load_tpcd, open_tpcd, peek_tpcd_meta
-from .harness import measure_query_faults
+from .harness import measure_query_faults, percentiles
 
 DEFAULT_SF = 0.01
 QUICK_SF = 0.0005
 DEFAULT_SEED = 42
+
+#: Rounds of the full query set each closed-loop serve client runs
+#: (>= 2, so the second round observes warm plan caches).
+SERVE_ROUNDS = 2
 
 #: Regression gate: fail when a median exceeds REGRESSION_FACTOR x the
 #: previous run's median (sub-floor baselines are clamped so timer
@@ -98,13 +119,17 @@ REGRESSION_FACTOR = 2.0
 REGRESSION_FLOOR_MS = 0.2
 
 
-def _median_ms(fn, reps):
+def _times_ms(fn, reps):
     times = []
     for _ in range(reps):
         started = time.perf_counter()
         fn()
         times.append((time.perf_counter() - started) * 1000.0)
-    return statistics.median(times)
+    return times
+
+
+def _median_ms(fn, reps):
+    return statistics.median(_times_ms(fn, reps))
 
 
 def _faults(fn):
@@ -347,6 +372,9 @@ def _operator_cases(operands):
     return cases
 
 
+#: Worker processes per pool when --serve runs without --procs.
+DEFAULT_PROCS_SERVE = 2
+
 #: Operators re-timed under the parallel sweep — the four whose hot
 #: kernels chunk (MultiMap probe, membership, factorize, grouped sum).
 #: Keys into :func:`_operator_cases`, whose thunks the sweep reuses.
@@ -528,9 +556,132 @@ def _multiproc_section(db_dir, procs, serial):
     return section
 
 
+def _serve_requests():
+    """The closed-loop request mix: one entry per TPC-D query.
+
+    Single-statement queries ship as textual Moa requests (their
+    driver is ``db.query(text).rows``, so the served result is
+    checksum-identical to the serial entry and the per-worker plan
+    cache engages); the two-phase queries (a scalar aggregate feeds a
+    literal into the main query) ship as ``tpcd`` requests.
+    """
+    requests = []
+    for number in sorted(QUERIES):
+        texts = QUERIES[number].texts()
+        if len(texts) == 1:
+            requests.append((number, "moa", texts[0]))
+        else:
+            requests.append((number, "tpcd", None))
+    return requests
+
+
+def _serve_section(db_dir, clients_sweep, procs, serial,
+                   rounds=SERVE_ROUNDS):
+    """Closed-loop load generation through the socket server.
+
+    ``serial`` is the per-query section this run just measured; its
+    checksums are the contract every served reply is diffed against.
+    Each concurrency level spins that many clients (threads, one
+    connection each); a client executes the full request mix
+    ``rounds`` times.  Latencies are whole-request (client-observed)
+    milliseconds.
+    """
+    from ..server import QueryClient, QueryServer, QueryService
+
+    requests = _serve_requests()
+    section = {
+        "procs": int(procs),
+        "cpus": os.cpu_count() or 1,
+        "rounds": int(rounds),
+        "clients_swept": [int(count) for count in clients_sweep],
+        "sweep": {},
+    }
+    service = QueryService(db_dir, procs=procs,
+                           max_inflight=max(8, *clients_sweep),
+                           max_queue=64)
+    try:
+        with QueryServer(service) as server:
+            host, port = server.address
+            for clients in clients_sweep:
+                latencies = []
+                failures = []
+                lock = threading.Lock()
+
+                def _client_loop():
+                    local = []
+                    try:
+                        with QueryClient(host, port) as client:
+                            for _ in range(rounds):
+                                for number, kind, text in requests:
+                                    sent = time.perf_counter()
+                                    if kind == "moa":
+                                        reply = client.moa(text)
+                                    else:
+                                        reply = client.tpcd(number)
+                                    # client-observed: framing, wire,
+                                    # decode + sha1 re-verify included
+                                    request_ms = (time.perf_counter()
+                                                  - sent) * 1000.0
+                                    expected = \
+                                        serial[str(number)]["checksum"]
+                                    if reply.checksum != expected:
+                                        raise RuntimeError(
+                                            "served result diverged "
+                                            "for Q%d: got %s, serial "
+                                            "run computed %s"
+                                            % (number, reply.checksum,
+                                               expected))
+                                    local.append(request_ms)
+                    except BaseException as exc:   # noqa: BLE001
+                        with lock:
+                            failures.append(exc)
+                        return
+                    with lock:
+                        latencies.extend(local)
+
+                started = time.perf_counter()
+                threads = [threading.Thread(target=_client_loop,
+                                            name="serve-client-%d" % i)
+                           for i in range(clients)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall_ms = (time.perf_counter() - started) * 1000.0
+                if failures:
+                    raise failures[0]
+                entry = {
+                    "clients": int(clients),
+                    "requests": len(latencies),
+                    "wall_ms": round(wall_ms, 4),
+                    "qps": round(len(latencies)
+                                 / max(wall_ms / 1000.0, 1e-9), 2),
+                }
+                entry.update({"%s_ms" % name: value for name, value
+                              in percentiles(latencies).items()})
+                section["sweep"][str(clients)] = entry
+            stats = service.stats()
+    finally:
+        service.close()
+    section["plan_cache"] = stats["plan_cache"]
+    section["result_cache"] = stats["result_cache"]
+    section["buffer"] = stats["buffer"]
+    section["counters"] = stats["counters"]
+    section["generation"] = int(
+        max(int(generation) for generation in stats["pools"])
+        if stats["pools"] else 0)
+    if rounds > 1 and stats["plan_cache"]["hits"] == 0:
+        # the acceptance observable: repeated rounds of identical Moa
+        # texts must hit the per-worker plan caches
+        raise RuntimeError("serve sweep recorded zero plan-cache hits "
+                           "across %d rounds" % rounds)
+    section["checksums_match"] = True
+    return section
+
+
 def run(sf, reps, quick, out_path, db_dir=None, validate=False,
         seed=DEFAULT_SEED, workers_sweep=DEFAULT_WORKER_SWEEP,
-        procs=0):
+        procs=0, serve_sweep=()):
     db, source, load_s, warm = _load_database(sf, seed, db_dir)
     operands = _operand_bats(source)
     # mergejoin inner: head-ordered + key [oid, extendedprice]
@@ -587,19 +738,28 @@ def run(sf, reps, quick, out_path, db_dir=None, validate=False,
             shape = 1
         else:
             shape = len(rows)
-        results["queries"][str(number)] = {
-            "median_ms": round(
-                _median_ms(lambda q=query: q.run(db), reps), 4),
+        times = _times_ms(lambda q=query: q.run(db), reps)
+        entry = {
+            "median_ms": round(statistics.median(times), 4),
             "faults": int(measure_query_faults(db, query)),
             "rows": int(shape),
             # canonical sha1 of the result rows — the equality contract
             # the multiproc section (and the CI cross-run diff) asserts
             "checksum": result_checksum(ship_value(rows)),
         }
+        # tail latency over the reps, the serving-layer observable
+        entry.update({"%s_ms" % name: value for name, value
+                      in percentiles(times).items()})
+        results["queries"][str(number)] = entry
 
     if procs and db_dir is not None:
         results["multiproc"] = _multiproc_section(
             db_dir, procs, results["queries"])
+
+    if serve_sweep and db_dir is not None:
+        results["serve"] = _serve_section(
+            db_dir, list(serve_sweep), procs or DEFAULT_PROCS_SERVE,
+            results["queries"])
 
     if validate and db_dir is not None:
         results["residency"] = _validate_queries(db_dir)
@@ -687,6 +847,18 @@ def main(argv=None):
                              "are asserted identical to the serial "
                              "run and a 'multiproc' section is "
                              "recorded.  0 (default) skips the sweep")
+    parser.add_argument("--serve", action="append", type=int,
+                        default=None, metavar="N",
+                        help="closed-loop client count for the query-"
+                             "service sweep; repeatable (--serve 1 "
+                             "--serve 4).  Each count drives the full "
+                             "TPC-D query set through a socket server "
+                             "started on the --db-dir catalog; reply "
+                             "checksums are asserted identical to the "
+                             "serial run and a 'serve' section records "
+                             "p50/p95/p99 request latencies per "
+                             "concurrency.  Needs --db-dir; omitted = "
+                             "no serve sweep")
     parser.add_argument("--no-regression-check", action="store_true",
                         help="do not fail on >%gx median regressions "
                              "vs the previous JSON" % REGRESSION_FACTOR)
@@ -705,6 +877,12 @@ def main(argv=None):
     if args.procs and args.db_dir is None:
         parser.error("--procs needs --db-dir (workers reopen the "
                      "saved catalog)")
+    serve_sweep = tuple(args.serve) if args.serve else ()
+    if serve_sweep and args.db_dir is None:
+        parser.error("--serve needs --db-dir (the server workers "
+                     "reopen the saved catalog)")
+    if any(clients < 1 for clients in serve_sweep):
+        parser.error("--serve client counts must be at least 1")
     workers_sweep = tuple(args.workers) if args.workers \
         else DEFAULT_WORKER_SWEEP
     if workers_sweep == (0,):
@@ -731,7 +909,7 @@ def main(argv=None):
 
     results = run(sf, reps, args.quick, out_path, db_dir=args.db_dir,
                   validate=args.validate, workers_sweep=workers_sweep,
-                  procs=args.procs)
+                  procs=args.procs, serve_sweep=serve_sweep)
     ops_table = results["operators"]
     print("BENCH sf=%s reps=%d -> %s" % (sf, reps, out_path))
     print("  load: %s in %.2fs"
@@ -773,6 +951,19 @@ def main(argv=None):
               % (len(section["queries"]), section["procs"],
                  len(section["workers_used"]), section["generation"],
                  section["wall_ms"], section["speedup_vs_serial"]))
+    if "serve" in results:
+        section = results["serve"]
+        print("  serve sweep (%d procs, %d rounds, plan-cache hit "
+              "rate %.0f%%, all checksums identical to serial):"
+              % (section["procs"], section["rounds"],
+                 100.0 * section["plan_cache"]["hit_rate"]))
+        for clients, entry in sorted(section["sweep"].items(),
+                                     key=lambda kv: int(kv[0])):
+            print("    clients=%-3s %5d requests  %8.1f ms wall  "
+                  "%7.1f q/s  p50=%.2fms p95=%.2fms p99=%.2fms"
+                  % (clients, entry["requests"], entry["wall_ms"],
+                     entry["qps"], entry["p50_ms"], entry["p95_ms"],
+                     entry["p99_ms"]))
     if "residency" in results:
         print("  residency validation (simulated vs real pages):")
         for number, entry in sorted(results["residency"].items(),

@@ -38,6 +38,14 @@ class MILError(MonetError):
     """A MIL program is malformed or failed to execute."""
 
 
+class WorkerCrashedError(MonetError):
+    """A dispatcher worker process died while a task was in flight.
+
+    The pool respawns the worker; the task that was lost surfaces with
+    this error instead of hanging the caller (a task that never reached
+    the worker is retried transparently on the replacement)."""
+
+
 class CatalogError(MonetError):
     """A named BAT is missing from (or duplicated in) the kernel catalog."""
 
@@ -55,6 +63,26 @@ class StaleCatalogError(CatalogError):
 class CatalogChangedError(CatalogError):
     """The catalog was rewritten to a newer generation than the one the
     caller opened (or pinned); the reader must reopen to proceed."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class ProtocolError(ServerError):
+    """A malformed, oversized, or truncated wire-protocol frame — or a
+    shipped payload whose checksum does not verify on the client."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control rejected the request: the in-flight limit is
+    reached and the bounded wait queue is full (or the queue wait
+    exceeded its budget).  Back off and retry."""
+
+
+class QueryTimeoutError(ServerError):
+    """A query exceeded its per-query timeout.  The worker executing it
+    is killed and respawned, so the slot is reclaimed immediately."""
 
 
 class MOAError(ReproError):

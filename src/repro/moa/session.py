@@ -76,6 +76,21 @@ class MOADatabase:
         resolved = self.prepare(query_text)
         return resolved, rewrite(resolved, self.flat)
 
+    def run_compiled(self, compiled):
+        """Execute an already-compiled :class:`RewriteResult`.
+
+        The hot path of the query service: a cached plan (MIL program
+        + result rep) re-executes against the current kernel without
+        re-parsing, re-resolving, or re-rewriting the query text.
+        Returns the materialised rows (or the scalar for
+        aggregate-rooted queries) — no trace, no QueryResult wrapper.
+        """
+        interpreter = MILInterpreter(self.kernel)
+        interpreter.run(compiled.program)
+        if compiled.scalar_var is not None:
+            return interpreter.value(compiled.scalar_var)
+        return Materializer(interpreter.resolve).top_level(compiled.rep)
+
     def query(self, query_text, trace=False, buffer_manager=None):
         """Execute the physical path; returns a :class:`QueryResult`."""
         if self.flat is None:

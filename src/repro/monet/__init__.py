@@ -24,7 +24,8 @@ from .storage import (CatalogLock, HeapStorage, MemoryBackend,
                       residency_snapshot, save_kernel)
 from .mil import (MILInterpreter, MILProgram, MILStmt, MILTrace, Var,
                   partition_independent)
-from .multiproc import (MultiprocExecutor, TaskOutcome, result_checksum,
+from .multiproc import (MultiprocExecutor, PendingTask, TaskOutcome,
+                        register_task_kind, result_checksum,
                         run_program_serial, run_queries_multiproc,
                         ship_value)
 from .optimizer import Optimizer, dispatch_disabled, get_optimizer
@@ -46,7 +47,8 @@ __all__ = [
     "residency_report", "residency_snapshot", "save_kernel",
     "MILInterpreter", "MILProgram", "MILStmt", "MILTrace", "Var",
     "partition_independent",
-    "MultiprocExecutor", "TaskOutcome", "result_checksum",
+    "MultiprocExecutor", "PendingTask", "TaskOutcome",
+    "register_task_kind", "result_checksum",
     "run_program_serial", "run_queries_multiproc", "ship_value",
     "Optimizer", "dispatch_disabled", "get_optimizer",
     "Props", "compute_props", "synced", "verify",

@@ -30,32 +30,63 @@ Result shipping
 Every task result is reduced to a canonical picklable form
 (:func:`ship_value`) and fingerprinted with **sha1**
 (:func:`result_checksum`) *inside the worker*.  The payload then ships
-either inline through the pool pipe (``ship="inline"``, the default)
+either inline through the worker pipe (``ship="inline"``, the default)
 or as a per-worker result file (``ship="file"``) that the parent loads
 and re-verifies against the shipped checksum.  The checksum is the
 contract the benchmarks and CI assert: a multi-process run must be
 checksum-identical to the serial execution of the same queries.
+
+Warm pool
+---------
+
+The executor manages its worker processes directly (one duplex pipe +
+one parent-side pump thread per worker) instead of delegating to
+``multiprocessing.Pool``.  That buys the serving layer
+(:mod:`repro.server`) three things a ``Pool`` cannot provide:
+
+* **warm residency** — workers stay alive between calls with their
+  catalog mapped, so a query never pays a reopen;
+* **asynchronous admission** — :meth:`MultiprocExecutor.submit`
+  returns a :class:`PendingTask` immediately, with an optional
+  per-task timeout that *kills and respawns* the worker running an
+  overdue task (:class:`~repro.errors.QueryTimeoutError`);
+* **crash isolation** — a worker that dies mid-task surfaces as a
+  typed :class:`~repro.errors.WorkerCrashedError` on that task alone
+  and is respawned; a worker that dies while idle is replaced
+  transparently (the task that found it dead never started, so it is
+  retried on the replacement).  Either way the pool keeps serving.
+
+Task kinds beyond the built-in ``query``/``mil`` are pluggable:
+:func:`register_task_kind` adds a handler, and ``task_modules`` names
+modules the workers import at start-up so registrations exist in every
+process under both ``fork`` and ``spawn`` (the server registers its
+plan-cached ``moa`` kind this way, see :mod:`repro.server.tasks`).
 """
 
 import hashlib
 import multiprocessing
 import os
 import pickle
+import threading
 import time
+from collections import deque
 
 import numpy as np
 
-from ..errors import MILError
+from ..errors import MILError, QueryTimeoutError, WorkerCrashedError
 from .buffer import BufferManager, BufferStats, set_manager
 from .mil import MILInterpreter, partition_independent
 
 __all__ = [
-    "MultiprocExecutor", "TaskOutcome", "default_start_method",
-    "result_checksum", "run_program_serial", "run_queries_multiproc",
-    "ship_value",
+    "MultiprocExecutor", "PendingTask", "TaskOutcome", "WorkerContext",
+    "default_start_method", "register_task_kind", "result_checksum",
+    "run_program_serial", "run_queries_multiproc", "ship_value",
 ]
 
 DEFAULT_PROCS = 2
+
+#: Seconds between liveness/timeout checks while a task is in flight.
+_POLL_INTERVAL = 0.05
 
 
 def default_start_method():
@@ -162,10 +193,10 @@ class TaskOutcome:
     """
 
     __slots__ = ("key", "checksum", "payload", "elapsed_ms", "stats",
-                 "generation", "pid")
+                 "generation", "pid", "extra")
 
     def __init__(self, key, checksum, payload, elapsed_ms, stats,
-                 generation, pid):
+                 generation, pid, extra=None):
         self.key = key
         self.checksum = checksum
         self.payload = payload
@@ -174,6 +205,9 @@ class TaskOutcome:
         self.stats = stats
         self.generation = generation
         self.pid = pid
+        #: handler-specific metadata (e.g. the server's ``moa`` kind
+        #: ships ``plan_cached`` + cumulative plan-cache stats here)
+        self.extra = extra
 
     def value(self, verify=True):
         """The shipped result (loading the result file when needed)."""
@@ -195,19 +229,80 @@ class TaskOutcome:
 
 
 # ----------------------------------------------------------------------
+# task-kind registry
+# ----------------------------------------------------------------------
+_TASK_KINDS = {}
+
+
+def register_task_kind(kind, run, warmup=None):
+    """Register a task handler executable by pool workers.
+
+    ``run(ctx, task)`` receives a :class:`WorkerContext` and the raw
+    task tuple and returns ``(canonical_value, extra)`` where
+    ``canonical_value`` is the :func:`ship_value`-style payload to
+    checksum and ship, and ``extra`` is an optional picklable metadata
+    dict for :attr:`TaskOutcome.extra`.  ``warmup(ctx, task)`` runs
+    *before* the task timer — resolve catalogs there so the first task
+    on a worker pays the (milliseconds-scale) mmap open, not the query.
+
+    Handlers must live in importable modules: pass the module name via
+    ``MultiprocExecutor(task_modules=...)`` so every worker process
+    imports (and thereby registers) it under fork *and* spawn.
+    """
+    _TASK_KINDS[kind] = (run, warmup)
+
+
+# ----------------------------------------------------------------------
 # worker side (module-level: must be picklable by reference)
 # ----------------------------------------------------------------------
 _STATE = {}
 
 
+class WorkerContext:
+    """What a task handler may touch inside a worker process."""
+
+    __slots__ = ()
+
+    @property
+    def generation(self):
+        """The catalog generation this worker is pinned to."""
+        return _STATE["generation"]
+
+    @property
+    def options(self):
+        """The executor's ``worker_options`` dict (read-only use)."""
+        return _STATE["options"]
+
+    @property
+    def state(self):
+        """A per-worker scratch dict for handler-owned caches."""
+        return _STATE.setdefault("handler_state", {})
+
+    def kernel(self):
+        """The worker's :class:`MonetKernel`, opened once and kept."""
+        return _worker_kernel()
+
+    def db(self):
+        """The worker's TPC-D :class:`MOADatabase`, opened once."""
+        return _worker_db()
+
+
 def _worker_init(db_dir, expected_generation, page_size, ship,
-                 result_dir, lock_timeout):
+                 result_dir, lock_timeout, task_modules=(),
+                 worker_options=None):
+    import importlib
+
     manager = BufferManager(page_size=page_size)
     set_manager(manager)
     _STATE.update(db_dir=db_dir, generation=expected_generation,
                   manager=manager, ship=ship, result_dir=result_dir,
                   lock_timeout=lock_timeout, kernel=None, db=None,
-                  seq=0)
+                  seq=0, options=dict(worker_options or {}))
+    for module in task_modules:
+        # registrations must exist in every process: under spawn the
+        # child starts from a fresh interpreter, so importing here is
+        # what makes register_task_kind calls take effect fleet-wide
+        importlib.import_module(module)
 
 
 def _worker_kernel():
@@ -240,30 +335,47 @@ def _worker_db():
     return _STATE["db"]
 
 
+def _task_query_warmup(ctx, task):
+    ctx.db()
+
+
+def _task_query(ctx, task):
+    from ..tpcd.queries import QUERIES
+    _kind, _key, number, overrides = task
+    return ship_value(QUERIES[number].run(ctx.db(), overrides)), None
+
+
+def _task_mil_warmup(ctx, task):
+    ctx.kernel()
+
+
+def _task_mil(ctx, task):
+    _kind, _key, program, fetch = task
+    interpreter = MILInterpreter(ctx.kernel())
+    interpreter.run(program)
+    return {name: ship_value(interpreter.value(name))
+            for name in fetch}, None
+
+
+register_task_kind("query", _task_query, warmup=_task_query_warmup)
+register_task_kind("mil", _task_mil, warmup=_task_mil_warmup)
+
+
 def _run_task(task):
     kind, key = task[0], task[1]
-    # resolve the catalog before the timer: the first task on each
-    # worker pays the (milliseconds-scale) mmap open, not the query
-    if kind == "query":
-        db = _worker_db()
-    else:
-        kernel = _worker_kernel()
+    entry = _TASK_KINDS.get(kind)
+    if entry is None:
+        raise MILError("unknown multiproc task kind %r" % (kind,))
+    run, warmup = entry
+    ctx = WorkerContext()
+    if warmup is not None:
+        # resolve the catalog before the timer: the first task on each
+        # worker pays the (milliseconds-scale) mmap open, not the query
+        warmup(ctx, task)
     manager = _STATE["manager"]
     manager.reset_counters()
     started = time.perf_counter()
-    if kind == "query":
-        from ..tpcd.queries import QUERIES
-        _kind, _key, number, overrides = task
-        result = QUERIES[number].run(db, overrides)
-        canonical = ship_value(result)
-    elif kind == "mil":
-        _kind, _key, program, fetch = task
-        interpreter = MILInterpreter(kernel)
-        interpreter.run(program)
-        canonical = {name: ship_value(interpreter.value(name))
-                     for name in fetch}
-    else:
-        raise MILError("unknown multiproc task kind %r" % (kind,))
+    canonical, extra = run(ctx, task)
     elapsed_ms = (time.perf_counter() - started) * 1000.0
     checksum = result_checksum(canonical)
     if _STATE["ship"] == "file":
@@ -282,16 +394,139 @@ def _run_task(task):
         payload = ("inline", canonical)
     opened = _STATE["db"].kernel if _STATE.get("db") is not None \
         else _STATE["kernel"]
+    generation = opened.generation if opened is not None \
+        else _STATE["generation"]
     return TaskOutcome(key, checksum, payload, elapsed_ms,
-                       manager.snapshot(), opened.generation,
-                       os.getpid())
+                       manager.snapshot(), generation,
+                       os.getpid(), extra=extra)
+
+
+def _worker_main(parent_conn, conn, init_args):
+    """The worker process loop: recv task, execute, send outcome.
+
+    Exceptions are shipped back per task — the worker survives a
+    failing task.  A ``None`` task is the shutdown sentinel.  The
+    parent's copy of its own pipe end is closed first so worker death
+    is observable as EOF/EPIPE on the parent side.
+    """
+    if parent_conn is not None:
+        parent_conn.close()
+    _worker_init(*init_args)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break                      # parent died or terminated us
+        if task is None:
+            break
+        try:
+            message = ("ok", _run_task(task))
+        except BaseException as exc:       # noqa: BLE001 — shipped
+            message = ("err", exc)
+        try:
+            conn.send(message)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # an unpicklable result/exception must not kill the
+            # worker: degrade to a typed, always-picklable error
+            conn.send(("err", MILError(
+                "worker result for task %r could not be shipped: %r"
+                % (task[1], message[1]))))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
 
 
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
+class PendingTask:
+    """A task accepted by :meth:`MultiprocExecutor.submit`.
+
+    ``dispatched`` is set once the task has been written to a worker
+    pipe (used to distinguish never-started from possibly-half-run
+    when a worker dies).  :meth:`result` blocks for the outcome and
+    re-raises the worker's exception, a
+    :class:`~repro.errors.WorkerCrashedError`, or a
+    :class:`~repro.errors.QueryTimeoutError`.
+    """
+
+    __slots__ = ("task", "timeout", "dispatched", "_done", "_outcome",
+                 "_error", "pid")
+
+    def __init__(self, task, timeout=None):
+        self.task = task
+        self.timeout = timeout
+        self.dispatched = threading.Event()
+        self._done = threading.Event()
+        self._outcome = None
+        self._error = None
+        #: pid of the worker that ran (or lost) the task, once known
+        self.pid = None
+
+    def done(self):
+        return self._done.is_set()
+
+    def _fulfill(self, outcome):
+        self._outcome = outcome
+        self._done.set()
+
+    def _fail(self, error):
+        self._error = error
+        self._done.set()
+
+    def result(self, timeout=None):
+        """Block for the :class:`TaskOutcome` (raises on failure)."""
+        if not self._done.wait(timeout):
+            raise QueryTimeoutError(
+                "no outcome for task %r within %.3fs"
+                % (self.task[1], timeout))
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def __repr__(self):
+        state = "done" if self.done() else (
+            "running" if self.dispatched.is_set() else "queued")
+        return "PendingTask(%r, %s)" % (self.task[1], state)
+
+
+class _WorkerHandle:
+    """One worker process + the parent's end of its pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+    @property
+    def pid(self):
+        return self.process.pid
+
+    def kill(self):
+        """Hard-stop the process (timeout reclaim / terminate)."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join()
+        self.conn.close()
+
+    def shutdown(self):
+        """Graceful stop: sentinel, then join."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.conn.close()
+
+
 class MultiprocExecutor:
-    """A pool of worker processes sharing one saved catalog.
+    """A warm pool of worker processes sharing one saved catalog.
 
     Parameters
     ----------
@@ -305,7 +540,7 @@ class MultiprocExecutor:
         racing the fan-out fails loudly instead of splitting the fleet
         across snapshots.
     ship:
-        ``"inline"`` returns result payloads through the pool pipe;
+        ``"inline"`` returns result payloads through the worker pipe;
         ``"file"`` writes one pickle per task under ``result_dir``
         (default ``<db_dir>/_results``) and ships only the path — the
         parent re-verifies the file against the sha1 on load.  File
@@ -314,11 +549,18 @@ class MultiprocExecutor:
     start_method:
         ``fork``/``spawn``/``forkserver``; default picks ``fork``
         where the platform offers it.
+    task_modules:
+        Module names every worker imports at start-up, so their
+        :func:`register_task_kind` calls exist in each process.
+    worker_options:
+        Picklable dict exposed to task handlers as
+        :attr:`WorkerContext.options` (e.g. plan-cache sizing).
     """
 
     def __init__(self, db_dir, procs=DEFAULT_PROCS, start_method=None,
                  expected_generation=None, page_size=4096,
-                 ship="inline", result_dir=None, lock_timeout=None):
+                 ship="inline", result_dir=None, lock_timeout=None,
+                 task_modules=(), worker_options=None):
         if ship not in ("inline", "file"):
             raise ValueError("ship must be 'inline' or 'file'")
         from .storage import catalog_generation
@@ -341,18 +583,207 @@ class MultiprocExecutor:
             # on lock state copied mid-hold
             from . import parallel
             parallel.shutdown_pools()
-        context = multiprocessing.get_context(method)
-        self._pool = context.Pool(
-            processes=self.procs, initializer=_worker_init,
-            initargs=(self.db_dir, self.generation, page_size, ship,
-                      result_dir, lock_timeout))
+        self._context = multiprocessing.get_context(method)
+        self._init_args = (self.db_dir, self.generation, page_size,
+                           ship, result_dir, lock_timeout,
+                           tuple(task_modules),
+                           dict(worker_options or {}))
+        #: tasks crashed + workers respawned since start (observability)
+        self.crashes = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self._cv = threading.Condition()
+        self._queue = deque()
+        self._closing = False
+        self._terminated = False
+        self._workers = []
+        self._pumps = []
+        for slot in range(self.procs):
+            self._workers.append(self._spawn())
+            pump = threading.Thread(target=self._pump, args=(slot,),
+                                    name="mp-pump-%d" % slot,
+                                    daemon=True)
+            self._pumps.append(pump)
+            pump.start()
 
     # ------------------------------------------------------------------
-    def map_tasks(self, tasks):
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self):
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(parent_conn, child_conn, self._init_args),
+            daemon=True)
+        process.start()
+        # the worker closes its inherited copy of parent_conn; closing
+        # child_conn here leaves exactly one owner per pipe end, so a
+        # dead worker is observable as EOF/EPIPE immediately
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    def _respawn(self, slot):
+        if self._terminated:
+            return
+        self._workers[slot] = self._spawn()
+        self.respawns += 1
+
+    def worker_pids(self):
+        """Current pids of the live workers."""
+        return [worker.pid for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def submit(self, task, timeout=None):
+        """Queue one raw task tuple; returns a :class:`PendingTask`.
+
+        ``timeout`` (seconds) starts when the task is handed to a
+        worker; an overdue worker is killed and respawned and the task
+        fails with :class:`~repro.errors.QueryTimeoutError`.
+        """
+        pending = PendingTask(task, timeout=timeout)
+        with self._cv:
+            if self._closing:
+                raise MILError("executor is shut down")
+            self._queue.append(pending)
+            self._cv.notify()
+        return pending
+
+    def pending_count(self):
+        """Tasks queued but not yet handed to a worker."""
+        with self._cv:
+            return len(self._queue)
+
+    def _next_task(self):
+        with self._cv:
+            while not self._queue and not self._closing:
+                self._cv.wait()
+            if self._queue:
+                return self._queue.popleft()
+            return None                              # closing + drained
+
+    def _pump(self, slot):
+        while True:
+            pending = self._next_task()
+            if pending is None:
+                break
+            try:
+                self._dispatch(slot, pending)
+            except BaseException as exc:   # noqa: BLE001 — last line
+                # of defense: a pump that dies strands its slot and
+                # leaves the task's waiter blocked forever, so any
+                # unexpected dispatch failure resolves the task and
+                # recycles the worker instead
+                if not pending.done():
+                    pending._fail(WorkerCrashedError(
+                        "dispatcher failure for task %r: %r"
+                        % (pending.task[1], exc)))
+                self._workers[slot].kill()
+                self._respawn(slot)
+        if not self._terminated:
+            self._workers[slot].shutdown()
+
+    def _dispatch(self, slot, pending, retried=False):
+        worker = self._workers[slot]
+        try:
+            if not worker.process.is_alive():
+                # noticed the death before handing the task over:
+                # identical to the send-failure path below
+                raise BrokenPipeError("worker died while idle")
+            worker.conn.send(pending.task)
+        except (BrokenPipeError, OSError, ValueError):
+            # the worker died while idle: the task never started, so
+            # replace the worker and retry transparently (once — a
+            # second failure means spawning itself is broken)
+            worker.kill()
+            self._respawn(slot)
+            if self._terminated:
+                pending._fail(WorkerCrashedError(
+                    "executor terminated before task %r ran"
+                    % (pending.task[1],)))
+                return
+            if retried:
+                pending._fail(WorkerCrashedError(
+                    "could not hand task %r to a worker (respawn "
+                    "failed to produce a usable process)"
+                    % (pending.task[1],)))
+                return
+            self._dispatch(slot, pending, retried=True)
+            return
+        pending.pid = worker.pid
+        pending.dispatched.set()
+        deadline = None if pending.timeout is None \
+            else time.monotonic() + pending.timeout
+        while True:
+            wait = _POLL_INTERVAL if deadline is None else max(
+                0.0, min(_POLL_INTERVAL, deadline - time.monotonic()))
+            try:
+                ready = worker.conn.poll(wait)
+            except (OSError, ValueError):
+                ready = False
+            if ready:
+                try:
+                    status, body = worker.conn.recv()
+                except Exception:      # noqa: BLE001 — see below
+                    # EOF/EPIPE (worker died) but also any failure to
+                    # *reconstruct* the shipped message (e.g. a custom
+                    # exception whose __init__ rejects pickle's
+                    # re-call): the message is lost either way, so
+                    # treat the worker as crashed rather than leave
+                    # the task unfulfilled and this pump dead
+                    self._on_crash(slot, worker, pending)
+                    return
+                if status == "ok":
+                    pending._fulfill(body)
+                else:
+                    pending._fail(body)
+                return
+            if not worker.process.is_alive():
+                # drain a result that raced the exit before declaring
+                # the task lost
+                try:
+                    if worker.conn.poll(0):
+                        status, body = worker.conn.recv()
+                        if status == "ok":
+                            pending._fulfill(body)
+                        else:
+                            pending._fail(body)
+                        self._on_crash(slot, worker, None)
+                        return
+                except (EOFError, OSError):
+                    pass
+                self._on_crash(slot, worker, pending)
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                # reclaim the slot: kill the overdue worker outright
+                # (it may be wedged in a kernel call) and respawn
+                self.timeouts += 1
+                worker.kill()
+                self._respawn(slot)
+                pending._fail(QueryTimeoutError(
+                    "task %r exceeded its %.3fs timeout (worker pid "
+                    "%s killed and respawned)"
+                    % (pending.task[1], pending.timeout, pending.pid)))
+                return
+
+    def _on_crash(self, slot, worker, pending):
+        worker.kill()
+        self._respawn(slot)
+        if pending is not None:
+            self.crashes += 1
+            pending._fail(WorkerCrashedError(
+                "worker pid %s died while running task %r (respawned; "
+                "resubmit the task)" % (pending.pid, pending.task[1])))
+
+    # ------------------------------------------------------------------
+    def map_tasks(self, tasks, timeout=None):
         """Execute raw task tuples; returns outcomes in task order."""
-        # chunksize=1: tasks are coarse (whole queries), so greedy
-        # per-task dispatch beats pre-chunking for load balance
-        return self._pool.map(_run_task, list(tasks), chunksize=1)
+        # greedy per-task dispatch (the Pool-era chunksize=1): tasks
+        # are coarse (whole queries), so load balance beats batching
+        pendings = [self.submit(task, timeout=timeout)
+                    for task in tasks]
+        return [pending.result() for pending in pendings]
 
     def run_queries(self, numbers=None, overrides=None):
         """Fan TPC-D queries over the workers.
@@ -421,12 +852,29 @@ class MultiprocExecutor:
         return total
 
     def close(self):
-        self._pool.close()
-        self._pool.join()
+        """Finish queued work, then stop the workers gracefully."""
+        with self._cv:
+            self._closing = True
+            self._cv.notify_all()
+        for pump in self._pumps:
+            pump.join()
 
     def terminate(self):
-        self._pool.terminate()
-        self._pool.join()
+        """Hard stop: kill workers now, fail anything still queued."""
+        with self._cv:
+            self._closing = True
+            self._terminated = True
+            doomed = list(self._queue)
+            self._queue.clear()
+            self._cv.notify_all()
+        for pending in doomed:
+            pending._fail(WorkerCrashedError(
+                "executor terminated before task %r ran"
+                % (pending.task[1],)))
+        for worker in self._workers:
+            worker.kill()
+        for pump in self._pumps:
+            pump.join()
 
     def __enter__(self):
         return self

@@ -1,0 +1,44 @@
+"""Concurrent query service over the shared mmap catalog.
+
+The paper positions the flattened BAT algebra as the high-throughput
+kernel behind multi-user front-ends; this package is that serving
+layer.  A :class:`QueryServer` accepts Moa and MIL queries from many
+concurrent clients over a length-prefixed JSON socket protocol
+(:mod:`repro.server.protocol`) and executes them through a
+:class:`QueryService`: per-generation warm worker pools (workers
+``MonetKernel.open`` the catalog once and stay resident), an LRU plan
+cache keyed by query text + catalog generation, an optional result
+cache, admission control (max in-flight, bounded queue, per-query
+timeout), and a stats endpoint exposing latency percentiles, cache hit
+rates, and merged buffer-manager fault accounting.
+
+Quickstart::
+
+    python -m repro.server --db-dir /path/to/db --port 7777
+
+    from repro.server import QueryClient
+    with QueryClient("127.0.0.1", 7777) as client:
+        reply = client.moa('count(Item)')
+        print(reply.value, reply.generation, reply.plan_cached)
+
+Every result ships with a sha1 checksum over the same canonical form
+the multi-process dispatcher uses (:func:`repro.monet.multiproc.
+result_checksum`), and :class:`QueryClient` re-verifies it after
+decoding — a served result is byte-contract-identical to serial
+execution.
+"""
+
+from .cache import CacheStats, LRUCache
+from .client import ClientReply, QueryClient
+from .protocol import (decode_program, decode_value, encode_program,
+                       encode_value, recv_frame, send_frame)
+from .server import QueryServer
+from .service import QueryService, Session
+
+__all__ = [
+    "CacheStats", "LRUCache",
+    "ClientReply", "QueryClient",
+    "QueryServer", "QueryService", "Session",
+    "decode_program", "decode_value", "encode_program", "encode_value",
+    "recv_frame", "send_frame",
+]

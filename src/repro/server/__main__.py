@@ -1,0 +1,90 @@
+"""``python -m repro.server``: serve a saved catalog over a socket.
+
+Example::
+
+    python -m repro.server --db-dir /data/tpcd --port 7777 --procs 4
+
+``--port 0`` binds an ephemeral port; the bound address is printed on
+stdout (and written to ``--port-file`` when given, which is how the
+CI smoke job discovers it).  The process serves until interrupted.
+"""
+
+import argparse
+import os
+import signal
+import sys
+import threading
+
+from .server import QueryServer
+from .service import QueryService
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="concurrent Moa/MIL query server over a shared "
+                    "mmap catalog")
+    parser.add_argument("--db-dir", required=True,
+                        help="saved database directory (see "
+                             "repro.monet.storage); every worker "
+                             "mmap-reopens it at its session's pinned "
+                             "generation")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7777,
+                        help="TCP port (0 = ephemeral, printed on "
+                             "stdout)")
+    parser.add_argument("--procs", type=int, default=2,
+                        help="worker processes per generation pool")
+    parser.add_argument("--plan-cache", type=int, default=64,
+                        metavar="N",
+                        help="per-worker LRU plan-cache capacity "
+                             "(0 disables)")
+    parser.add_argument("--result-cache", type=int, default=0,
+                        metavar="N",
+                        help="parent-side LRU result-cache capacity "
+                             "(0 = off)")
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--max-queue", type=int, default=32)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="default per-query timeout in seconds "
+                             "(overdue workers are killed and "
+                             "respawned)")
+    parser.add_argument("--port-file", default=None,
+                        help="write 'host port' here once bound")
+    args = parser.parse_args(argv)
+
+    service = QueryService(
+        args.db_dir, procs=args.procs,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        default_timeout=args.timeout)
+    server = QueryServer(service, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print("repro.server: serving %s on %s:%d (procs=%d, "
+          "plan_cache=%d, result_cache=%d, max_inflight=%d)"
+          % (args.db_dir, host, port, args.procs, args.plan_cache,
+             args.result_cache, args.max_inflight), flush=True)
+    if args.port_file:
+        # write-then-rename: pollers that see the file see its content
+        with open(args.port_file + ".tmp", "w") as handle:
+            handle.write("%s %d\n" % (host, port))
+        os.replace(args.port_file + ".tmp", args.port_file)
+
+    stop = threading.Event()
+
+    def _interrupt(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _interrupt)
+    signal.signal(signal.SIGTERM, _interrupt)
+    stop.wait()
+    print("repro.server: shutting down", flush=True)
+    server.stop()
+    service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

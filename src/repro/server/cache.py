@@ -1,0 +1,112 @@
+"""A thread-safe LRU cache with hit/miss/eviction statistics.
+
+Two instances run inside the query service: the **plan cache** (query
+text + catalog generation -> compiled MIL plan, one per worker
+process) and the optional parent-side **result cache** (canonical
+request + generation -> finished response).  Both expose their
+counters through the server's ``stats`` request, which is how cache
+effectiveness is observed from the outside.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class CacheStats:
+    """Cumulative counters of one :class:`LRUCache`."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self, hits=0, misses=0, evictions=0):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        lookups = self.lookups
+        return (self.hits / lookups) if lookups else 0.0
+
+    def as_dict(self):
+        return {"hits": int(self.hits), "misses": int(self.misses),
+                "evictions": int(self.evictions),
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def __repr__(self):
+        return ("CacheStats(hits=%d, misses=%d, evictions=%d)"
+                % (self.hits, self.misses, self.evictions))
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-*used* eviction.
+
+    ``capacity <= 0`` disables the cache entirely: every lookup
+    misses, nothing is stored — callers need no special-casing for
+    the "cache turned off" configuration.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = int(capacity)
+        self._items = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key, default=None):
+        """The cached value (refreshing recency), or ``default``."""
+        with self._lock:
+            try:
+                value = self._items[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._items.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key, value):
+        """Insert/replace; evicts the LRU entry beyond capacity."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._items[key] = value
+            self._items.move_to_end(key)
+            while len(self._items) > self.capacity:
+                self._items.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, predicate=None):
+        """Drop entries (all, or those whose *key* matches).
+
+        The generation-bump path: ``invalidate(lambda key:
+        key[-1] < new_generation)`` drops plans/results of superseded
+        snapshots while newer entries survive.
+        """
+        with self._lock:
+            if predicate is None:
+                dropped = len(self._items)
+                self._items.clear()
+                return dropped
+            doomed = [key for key in self._items if predicate(key)]
+            for key in doomed:
+                del self._items[key]
+            return len(doomed)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._items)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._items
+
+    def snapshot(self):
+        """``{"size": ..., "capacity": ..., hits/misses/...}``."""
+        with self._lock:
+            entry = {"size": len(self._items),
+                     "capacity": self.capacity}
+        entry.update(self.stats.as_dict())
+        return entry

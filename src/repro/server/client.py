@@ -1,0 +1,185 @@
+"""QueryClient: the library side of the wire protocol.
+
+Connects, reads the ``hello`` (exposing the session's pinned catalog
+generation), then issues synchronous requests.  Every ``result``
+frame is decoded back to the canonical value form and **re-checksummed
+locally** against the worker's shipped sha1 — a checksum mismatch
+raises :class:`~repro.errors.ProtocolError`, so a client never
+silently consumes a corrupted or mis-encoded result.  ``error``
+frames re-raise as the matching typed exception from
+:mod:`repro.errors` (:class:`~repro.errors.ServerOverloadedError`,
+:class:`~repro.errors.QueryTimeoutError`, ...).
+"""
+
+import socket
+
+from .. import errors as _errors
+from ..errors import ProtocolError, ServerError
+from ..monet.multiproc import result_checksum
+from .protocol import (decode_value, encode_program, recv_frame,
+                       send_frame)
+
+
+class ClientReply:
+    """One decoded result: the value plus its serving metadata."""
+
+    __slots__ = ("value", "canonical", "checksum", "elapsed_ms",
+                 "service_ms", "generation", "pid", "plan_cached",
+                 "result_cached", "faults")
+
+    def __init__(self, canonical, response):
+        #: the canonical shipped form ({"kind": ...}-style)
+        self.canonical = canonical
+        #: the bare result (rows list, scalar, or {name: value} env)
+        self.value = _bare_value(canonical)
+        self.checksum = response["checksum"]
+        self.elapsed_ms = response.get("elapsed_ms")
+        self.service_ms = response.get("service_ms")
+        self.generation = response.get("generation")
+        self.pid = response.get("pid")
+        #: True when the worker served a cached MIL plan (moa only)
+        self.plan_cached = response.get("plan_cached")
+        #: True when the parent-side result cache answered
+        self.result_cached = response.get("result_cached", False)
+        self.faults = response.get("faults")
+
+    def __repr__(self):
+        return ("ClientReply(sha1=%s, gen=%s, %sms%s%s)"
+                % (self.checksum[:10], self.generation,
+                   self.service_ms,
+                   ", plan_cached" if self.plan_cached else "",
+                   ", result_cached" if self.result_cached else ""))
+
+
+def _bare_value(canonical):
+    if isinstance(canonical, dict):
+        kind = canonical.get("kind")
+        if kind == "value":
+            return canonical["value"]
+        if kind == "bat":
+            return canonical
+        # a MIL fetch env: {name: canonical}
+        return {name: _bare_value(item)
+                for name, item in canonical.items()}
+    return canonical
+
+
+class QueryClient:
+    """A synchronous client for one server connection (= session).
+
+    The catalog generation pinned at connect time is
+    :attr:`generation`; every reply carries the generation it was
+    served from, which for this connection never changes — reconnect
+    to observe a writer's bump.
+    """
+
+    def __init__(self, host, port, connect_timeout=10.0,
+                 verify=True):
+        self.verify = verify
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP,
+                              socket.TCP_NODELAY, 1)
+        hello = recv_frame(self._sock)
+        if not isinstance(hello, dict):
+            raise ProtocolError("no hello from server")
+        if hello.get("type") == "error":
+            self._sock.close()
+            raise _error_for(hello)
+        if hello.get("type") != "hello":
+            raise ProtocolError("unexpected first frame %r"
+                                % (hello,))
+        #: wire protocol version the server speaks
+        self.protocol = hello.get("protocol")
+        #: catalog generation this session is pinned to
+        self.generation = hello.get("generation")
+
+    # ------------------------------------------------------------------
+    def _request(self, request):
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("type") == "error":
+            raise _error_for(response)
+        return response
+
+    def _result(self, request):
+        response = self._request(request)
+        if response.get("type") != "result":
+            raise ProtocolError("expected a result frame, got %r"
+                                % (response.get("type"),))
+        canonical = decode_value(response["payload"])
+        if self.verify and \
+                result_checksum(canonical) != response["checksum"]:
+            raise ProtocolError(
+                "shipped payload does not match its sha1 checksum "
+                "(%s)" % response["checksum"])
+        return ClientReply(canonical, response)
+
+    # ------------------------------------------------------------------
+    # request types
+    # ------------------------------------------------------------------
+    def moa(self, query_text, timeout=None):
+        """Execute a textual MOA query; returns a :class:`ClientReply`."""
+        request = {"type": "moa", "query": query_text}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._result(request)
+
+    def tpcd(self, number, params=None, timeout=None):
+        """Run TPC-D query ``number`` (optional param overrides)."""
+        request = {"type": "tpcd", "number": int(number)}
+        if params:
+            request["params"] = dict(params)
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._result(request)
+
+    def mil(self, program, fetch, timeout=None):
+        """Execute a :class:`~repro.monet.mil.MILProgram`; the reply
+        value maps each name in ``fetch`` to its result."""
+        request = {"type": "mil", "program": encode_program(program),
+                   "fetch": list(fetch)}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._result(request)
+
+    def stats(self):
+        """The server's aggregate stats dict."""
+        response = self._request({"type": "stats"})
+        if response.get("type") != "stats":
+            raise ProtocolError("expected a stats frame")
+        return response["stats"]
+
+    def ping(self):
+        """Liveness check; returns the session's pinned generation."""
+        response = self._request({"type": "ping"})
+        if response.get("type") != "pong":
+            raise ProtocolError("expected a pong frame")
+        return response["generation"]
+
+    # ------------------------------------------------------------------
+    def close(self):
+        try:
+            send_frame(self._sock, {"type": "close"})
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.close()
+
+
+def _error_for(response):
+    """The typed exception for an ``error`` frame."""
+    name = response.get("error", "ServerError")
+    message = response.get("message", "")
+    cls = getattr(_errors, str(name), None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = ServerError
+    return cls("%s (from server)" % message)

@@ -1,0 +1,217 @@
+"""Wire protocol: length-prefixed JSON frames + a value codec.
+
+Framing
+-------
+
+Every message is one **frame**: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON.  Frames above
+:data:`MAX_FRAME_BYTES` are refused with a typed
+:class:`~repro.errors.ProtocolError` before any allocation, so a
+corrupt length prefix cannot balloon memory.  ``recv_frame`` returns
+``None`` on a clean EOF at a frame boundary (peer closed) and raises
+on a mid-frame truncation.
+
+Value codec
+-----------
+
+Query results travel in the same canonical form the multi-process
+dispatcher ships (:func:`repro.monet.multiproc.ship_value`), which is
+not JSON-native: numpy arrays, ``Row``/``Ref`` values, bytes.
+:func:`encode_value`/:func:`decode_value` are exact inverses **with
+respect to the sha1 result checksum**: fixed-dtype arrays travel as
+base64 of their raw little-endian bytes (bit-exact), object arrays
+element-wise, tuples degrade to lists (checksum-equivalent by design),
+and numpy scalars degrade to Python numbers (likewise).  The client
+re-checksums the decoded payload against the worker's shipped digest,
+so any codec asymmetry is caught per response, not trusted.
+
+Non-finite floats ride on Python's JSON ``NaN``/``Infinity`` literals
+(both ends of this protocol are this package).
+"""
+
+import base64
+import json
+import struct
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..monet.mil import MILProgram, MILStmt, Var
+
+#: Refuse frames above this many payload bytes (2**28 = 256 MiB).
+MAX_FRAME_BYTES = 1 << 28
+
+_LENGTH = struct.Struct(">I")
+
+#: Marker keys reserved by the codec; a plain dict containing any of
+#: them (or non-string keys) is encoded in the explicit pair-list form.
+_MARKERS = frozenset(("__nd__", "__ndo__", "__row__", "__ref__",
+                      "__bytes__", "__tuple__", "__dict__", "__var__"))
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def send_frame(sock, obj):
+    """Serialise ``obj`` as JSON and write one frame."""
+    body = json.dumps(obj, allow_nan=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError("refusing to send %d-byte frame (max %d)"
+                            % (len(body), MAX_FRAME_BYTES))
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock, nbytes):
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError("refusing %d-byte frame (max %d)"
+                            % (length, MAX_FRAME_BYTES))
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame "
+                            "(%d bytes expected)" % length)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("undecodable frame: %s" % exc) from exc
+
+
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+def encode_value(value):
+    """Canonical shipped value -> JSON-safe structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        # checksum canon treats numpy scalars and Python numbers
+        # identically, so the degrade is digest-preserving
+        return value.item()
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return {"__ndo__": [encode_value(item)
+                                for item in value.tolist()]}
+        data = np.ascontiguousarray(value)
+        return {"__nd__": data.dtype.str,
+                "shape": list(data.shape),
+                "b64": base64.b64encode(data.tobytes()).decode("ascii")}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) \
+                and not (_MARKERS & set(value)):
+            return {key: encode_value(item)
+                    for key, item in value.items()}
+        return {"__dict__": [[encode_value(key), encode_value(item)]
+                             for key, item in value.items()]}
+    if hasattr(value, "names") and hasattr(value, "values"):
+        # repro.moa.values.Row (duck-typed, like the checksum canon)
+        return {"__row__": [[name, encode_value(item)]
+                            for name, item in zip(value.names,
+                                                  value.values)]}
+    if hasattr(value, "class_name") and hasattr(value, "oid"):
+        # repro.moa.values.Ref
+        return {"__ref__": [value.class_name, int(value.oid)]}
+    raise ProtocolError("cannot encode value of type %s"
+                        % type(value).__name__)
+
+
+def decode_value(obj):
+    """JSON structure -> canonical value (inverse of encode_value)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [decode_value(item) for item in obj]
+    if isinstance(obj, dict):
+        if "__bytes__" in obj:
+            return base64.b64decode(obj["__bytes__"])
+        if "__nd__" in obj:
+            array = np.frombuffer(
+                base64.b64decode(obj["b64"]),
+                dtype=np.dtype(obj["__nd__"]))
+            return array.reshape(obj["shape"]).copy()
+        if "__ndo__" in obj:
+            array = np.empty(len(obj["__ndo__"]), dtype=object)
+            for index, item in enumerate(obj["__ndo__"]):
+                array[index] = decode_value(item)
+            return array
+        if "__tuple__" in obj:
+            return tuple(decode_value(item)
+                         for item in obj["__tuple__"])
+        if "__dict__" in obj:
+            return {_hashable(decode_value(key)): decode_value(item)
+                    for key, item in obj["__dict__"]}
+        if "__row__" in obj:
+            from ..moa.values import Row
+            return Row([(name, decode_value(item))
+                        for name, item in obj["__row__"]])
+        if "__ref__" in obj:
+            from ..moa.values import Ref
+            class_name, oid = obj["__ref__"]
+            return Ref(class_name, oid)
+        return {key: decode_value(item) for key, item in obj.items()}
+    raise ProtocolError("cannot decode wire value %r" % (obj,))
+
+
+def _hashable(key):
+    return tuple(key) if isinstance(key, list) else key
+
+
+# ----------------------------------------------------------------------
+# MIL program codec
+# ----------------------------------------------------------------------
+def encode_program(program):
+    """A :class:`~repro.monet.mil.MILProgram` as a JSON structure.
+
+    Statement arguments distinguish variable/catalog references
+    (``{"__var__": name}``) from literal scalars (encoded values).
+    """
+    stmts = []
+    for stmt in program:
+        stmts.append({
+            "target": stmt.target,
+            "op": stmt.op,
+            "args": [{"__var__": arg.name} if isinstance(arg, Var)
+                     else encode_value(arg) for arg in stmt.args],
+            "fn": stmt.fn,
+        })
+    return {"stmts": stmts}
+
+
+def decode_program(obj):
+    """Inverse of :func:`encode_program`."""
+    if not isinstance(obj, dict) or "stmts" not in obj:
+        raise ProtocolError("malformed MIL program on the wire")
+    program = MILProgram()
+    for stmt in obj["stmts"]:
+        try:
+            args = [Var(arg["__var__"])
+                    if isinstance(arg, dict) and "__var__" in arg
+                    else decode_value(arg) for arg in stmt["args"]]
+            program.stmts.append(MILStmt(stmt["target"], stmt["op"],
+                                         args, fn=stmt.get("fn")))
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError("malformed MIL statement: %r"
+                                % (stmt,)) from exc
+    return program

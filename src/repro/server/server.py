@@ -1,0 +1,188 @@
+"""The socket front-end: one listener, one thread per connection.
+
+Each accepted connection becomes a :class:`~repro.server.service.
+Session` (pinning the catalog generation current at accept time) and
+receives a ``hello`` frame carrying that generation.  The connection
+then speaks a strict request/response protocol — one frame in, one
+frame out — over :mod:`repro.server.protocol` framing:
+
+================  ====================================================
+request type       response
+================  ====================================================
+``moa``            ``result`` (rows/scalar + sha1 checksum)
+``tpcd``           ``result`` for the numbered TPC-D query
+``mil``            ``result`` ``{name: value}`` for the fetch list
+``stats``          ``stats`` (latency percentiles, cache hit rates...)
+``ping``           ``pong`` (generation echo, liveness)
+``close``          connection shut down cleanly
+================  ====================================================
+
+Failures never tear the connection: any :class:`~repro.errors.
+ReproError` becomes an ``error`` frame ``{"error": <class name>,
+"message": ...}`` the client re-raises as the matching typed
+exception.  Only protocol-level corruption (undecodable frame) closes
+the socket.
+"""
+
+import socket
+import threading
+
+from ..errors import ProtocolError, ReproError
+from .protocol import recv_frame, send_frame
+
+#: Bump when the frame/request shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class QueryServer:
+    """Serves a :class:`~repro.server.service.QueryService` over TCP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  The server owns only sockets and threads — the
+    service (pools, caches, admission) is injected and may outlive it.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0, backlog=64):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.backlog = backlog
+        self._sock = None
+        self._accept_thread = None
+        self._conns = []             # [(thread, socket)] still live
+        self._conn_lock = threading.Lock()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (after :meth:`start`)."""
+        return self._sock.getsockname()[:2]
+
+    def start(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((self.host, self.port))
+        self._sock.listen(self.backlog)
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self):
+        while self._running:
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                break                       # listener closed: stopping
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="serve-conn", daemon=True)
+            with self._conn_lock:
+                self._conns = [(t, c) for t, c in self._conns
+                               if t.is_alive()]
+                self._conns.append((thread, conn))
+            thread.start()
+
+    def _serve_connection(self, conn):
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            session = self.service.session()
+        except ReproError as exc:
+            try:
+                send_frame(conn, {"type": "error",
+                                  "error": type(exc).__name__,
+                                  "message": str(exc)})
+            except OSError:
+                pass
+            conn.close()
+            return
+        try:
+            send_frame(conn, {"type": "hello",
+                              "protocol": PROTOCOL_VERSION,
+                              "generation": session.generation,
+                              "procs": self.service.procs})
+            while self._running:
+                try:
+                    request = recv_frame(conn)
+                except ProtocolError:
+                    break                    # corrupt frame: hang up
+                if request is None or not isinstance(request, dict):
+                    break
+                rtype = request.get("type")
+                if rtype == "close":
+                    break
+                response = self._handle(session, request)
+                if "id" in request:
+                    response["id"] = request["id"]
+                try:
+                    send_frame(conn, response)
+                except ProtocolError as exc:
+                    # an unshippable (oversized) result still answers
+                    # with a typed error frame — never a torn socket
+                    error = {"type": "error",
+                             "error": type(exc).__name__,
+                             "message": str(exc)}
+                    if "id" in request:
+                        error["id"] = request["id"]
+                    send_frame(conn, error)
+        except OSError:
+            pass                             # peer vanished mid-frame
+        finally:
+            session.close()
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def _handle(self, session, request):
+        rtype = request.get("type")
+        if rtype == "ping":
+            return {"type": "pong", "generation": session.generation}
+        if rtype == "stats":
+            return {"type": "stats", "stats": self.service.stats()}
+        try:
+            return session.execute(request)
+        except Exception as exc:        # noqa: BLE001 — error frame
+            # a failing request must answer, never tear the
+            # connection: ReproErrors keep their class name (the
+            # client re-raises the matching type), anything else
+            # degrades to a generic ServerError on the client side
+            self.service.count_error(exc)
+            return {"type": "error", "error": type(exc).__name__,
+                    "message": str(exc)}
+
+    # ------------------------------------------------------------------
+    def stop(self):
+        """Stop accepting, close every connection, join the threads."""
+        self._running = False
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._conn_lock:
+            conns = list(self._conns)
+        for _thread, conn in conns:
+            # unblock handlers parked in recv_frame: their recv
+            # returns EOF/EBADF and the session closes cleanly
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread, _conn in conns:
+            thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.stop()

@@ -1,0 +1,431 @@
+"""The query service: warm pools, admission control, caches, stats.
+
+A :class:`QueryService` owns everything between the wire protocol and
+the multi-process dispatcher:
+
+* **per-generation warm worker pools** — each
+  :class:`~repro.monet.multiproc.MultiprocExecutor` is created pinned
+  to one catalog generation and kept resident; a session acquires the
+  pool matching the generation on disk *when the session starts*, so
+  a writer bumping the catalog mid-session never changes what an open
+  session sees (new sessions get a new pool at the new generation,
+  old pools retire once their last pinned session ends);
+* **admission control** — at most ``max_inflight`` requests execute
+  at once, at most ``max_queue`` wait; beyond that (or when the queue
+  wait exceeds the request's timeout budget) the request is refused
+  with a typed :class:`~repro.errors.ServerOverloadedError`;
+* **per-query timeout** — forwarded to the dispatcher, which kills
+  and respawns the worker running an overdue query
+  (:class:`~repro.errors.QueryTimeoutError`);
+* **caches** — the workers' plan caches (see
+  :mod:`repro.server.tasks`) report their counters through every
+  outcome, and an optional parent-side **result cache** short-circuits
+  repeated identical requests against the same generation;
+* **stats** — :meth:`QueryService.stats` aggregates request counters,
+  latency percentiles over a sliding window, cache hit rates, merged
+  :class:`~repro.monet.buffer.BufferStats`, and per-pool health
+  (sessions, pids, respawns/crashes/timeouts).
+
+The service is transport-agnostic: :mod:`repro.server.server` drives
+it from sockets, the benchmark harness drives it in-process.
+"""
+
+import json
+import threading
+import time
+from collections import deque
+
+from ..bench.harness import percentiles
+from ..errors import ProtocolError, ServerOverloadedError
+from ..monet.buffer import BufferStats
+from ..monet.multiproc import MultiprocExecutor
+from ..monet.storage import catalog_generation
+from .cache import LRUCache
+from .protocol import decode_program, encode_value
+
+#: Sliding-window size for latency percentiles.
+LATENCY_WINDOW = 4096
+
+
+class _PoolEntry:
+    __slots__ = ("executor", "sessions")
+
+    def __init__(self, executor):
+        self.executor = executor
+        self.sessions = 0
+
+
+class QueryService:
+    """Executes wire requests against per-generation warm pools.
+
+    Parameters
+    ----------
+    db_dir:
+        The shared mmap catalog directory every worker reopens.
+    procs:
+        Worker processes per pool (per pinned generation).
+    plan_cache_size:
+        Per-worker LRU plan-cache capacity (``0`` disables).
+    result_cache_size:
+        Parent-side LRU result-cache capacity (``0`` — the default —
+        disables it; entries are keyed by canonical request **and**
+        generation, so a bump can never serve stale rows).
+    max_inflight / max_queue:
+        Admission control: concurrent executing requests / bounded
+        wait queue beyond them.
+    default_timeout:
+        Per-query timeout in seconds applied when a request carries
+        none (``None`` = unbounded).
+    """
+
+    def __init__(self, db_dir, procs=2, plan_cache_size=64,
+                 result_cache_size=0, max_inflight=8, max_queue=32,
+                 default_timeout=None, lock_timeout=None,
+                 start_method=None, page_size=4096):
+        self.db_dir = db_dir
+        self.procs = max(1, int(procs))
+        self.plan_cache_size = int(plan_cache_size)
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_queue = max(0, int(max_queue))
+        self.default_timeout = default_timeout
+        self._lock_timeout = lock_timeout
+        self._start_method = start_method
+        self._page_size = page_size
+        self.result_cache = LRUCache(result_cache_size)
+
+        self._pool_lock = threading.Lock()
+        #: serialises executor construction only — never held while
+        #: answering stats/release, and pool spin-up (forking procs
+        #: workers) happens under it *without* _pool_lock, so existing
+        #: sessions stay fully responsive while a new generation warms
+        self._create_lock = threading.Lock()
+        self._pools = {}                    # generation -> _PoolEntry
+        self._closed = False
+
+        self._adm = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+
+        self._stats_lock = threading.Lock()
+        self._counters = {"requests": 0, "results": 0, "errors": 0,
+                          "timeouts": 0, "overloads": 0,
+                          "result_cache_hits": 0}
+        self._latencies = deque(maxlen=LATENCY_WINDOW)
+        self._buffer = BufferStats()
+        #: (generation, pid) -> latest cumulative plan-cache snapshot
+        self._plan_stats = {}
+        #: rollup of snapshots whose worker died or whose pool retired
+        #: (keeps totals cumulative while _plan_stats stays bounded to
+        #: live workers)
+        self._plan_retired = {"hits": 0, "misses": 0, "evictions": 0}
+        self._seq = 0
+        self._started = time.time()
+
+    # ------------------------------------------------------------------
+    # pools + sessions
+    # ------------------------------------------------------------------
+    def _make_executor(self, generation):
+        return MultiprocExecutor(
+            self.db_dir, procs=self.procs,
+            expected_generation=generation,
+            start_method=self._start_method,
+            page_size=self._page_size,
+            lock_timeout=self._lock_timeout,
+            task_modules=("repro.server.tasks",),
+            worker_options={"plan_cache_size": self.plan_cache_size})
+
+    def session(self):
+        """Open a :class:`Session` pinned to the generation on disk."""
+        generation = catalog_generation(self.db_dir)
+        with self._pool_lock:
+            if self._closed:
+                raise ProtocolError("service is shut down")
+            entry = self._pools.get(generation)
+            if entry is not None:
+                entry.sessions += 1
+                return Session(self, generation, entry)
+        with self._create_lock:
+            # re-check under the creation lock: a concurrent connect
+            # may have built this generation's pool already
+            with self._pool_lock:
+                if self._closed:
+                    raise ProtocolError("service is shut down")
+                entry = self._pools.get(generation)
+                if entry is not None:
+                    entry.sessions += 1
+                    return Session(self, generation, entry)
+            executor = self._make_executor(generation)   # slow: forks
+            with self._pool_lock:
+                if self._closed:
+                    closed = True
+                else:
+                    closed = False
+                    entry = _PoolEntry(executor)
+                    entry.sessions = 1
+                    self._pools[generation] = entry
+        if closed:
+            executor.close()
+            raise ProtocolError("service is shut down")
+        return Session(self, generation, entry)
+
+    def _release(self, generation, entry):
+        doomed = None
+        with self._pool_lock:
+            entry.sessions -= 1
+            if entry.sessions <= 0 and not self._closed:
+                try:
+                    current = catalog_generation(self.db_dir)
+                except Exception:
+                    current = None              # unreadable: retire
+                if current != generation:
+                    doomed = self._pools.pop(generation, None)
+        if doomed is not None:
+            doomed.executor.close()
+
+    def pool_generations(self):
+        with self._pool_lock:
+            return sorted(self._pools)
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _admit(self, timeout):
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._adm:
+            if self._inflight >= self.max_inflight:
+                if self._queued >= self.max_queue:
+                    self._count("overloads")
+                    raise ServerOverloadedError(
+                        "at %d in-flight and %d queued requests"
+                        % (self._inflight, self._queued))
+                self._queued += 1
+                try:
+                    while self._inflight >= self.max_inflight:
+                        remaining = None if deadline is None \
+                            else deadline - time.monotonic()
+                        if remaining is not None and remaining <= 0:
+                            self._count("overloads")
+                            raise ServerOverloadedError(
+                                "queued past the %.3fs timeout budget"
+                                % timeout)
+                        self._adm.wait(remaining)
+                finally:
+                    self._queued -= 1
+            self._inflight += 1
+
+    def _leave(self):
+        with self._adm:
+            self._inflight -= 1
+            self._adm.notify()
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+    def _task_for(self, request):
+        """(task tuple, cache-key string) for an executable request."""
+        rtype = request.get("type")
+        with self._stats_lock:
+            self._seq += 1
+            key = "s%d" % self._seq
+        if rtype == "moa":
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ProtocolError("moa request needs a 'query' text")
+            return ("moa", key, text), json.dumps(
+                ["moa", text], sort_keys=True)
+        if rtype == "tpcd":
+            from ..tpcd.queries import QUERIES
+            number = request.get("number")
+            if not isinstance(number, int):
+                raise ProtocolError(
+                    "tpcd request needs an integer 'number'")
+            if number not in QUERIES:
+                raise ProtocolError("no TPC-D query %d (have %s)"
+                                    % (number, sorted(QUERIES)))
+            params = request.get("params")
+            if params is not None and not isinstance(params, dict):
+                raise ProtocolError("tpcd 'params' must be an object")
+            return ("query", key, number, params), json.dumps(
+                ["tpcd", number, params], sort_keys=True)
+        if rtype == "mil":
+            program = decode_program(request.get("program"))
+            fetch = request.get("fetch")
+            if not isinstance(fetch, list) \
+                    or not all(isinstance(name, str) for name in fetch):
+                raise ProtocolError(
+                    "mil request needs a 'fetch' list of names")
+            return ("mil", key, program, list(fetch)), json.dumps(
+                ["mil", request["program"], fetch], sort_keys=True)
+        raise ProtocolError("unknown request type %r" % (rtype,))
+
+    def execute(self, session, request):
+        """One executable request -> one result response dict."""
+        started = time.monotonic()
+        self._count("requests")
+        timeout = request.get("timeout", self.default_timeout)
+        task, cache_key = self._task_for(request)
+        full_key = (session.generation, cache_key)
+        cached = self.result_cache.get(full_key)
+        if cached is not None:
+            self._count("result_cache_hits")
+            response = dict(cached)
+            response["result_cached"] = True
+            response["service_ms"] = round(
+                (time.monotonic() - started) * 1000.0, 4)
+            self._record_latency(started)
+            return response
+        self._admit(timeout)
+        try:
+            outcome = session.entry.executor.submit(
+                task, timeout=timeout).result()
+        finally:
+            self._leave()
+        extra = outcome.extra or {}
+        with self._stats_lock:
+            self._buffer.merge(outcome.stats)
+            if "plan_cache" in extra:
+                self._plan_stats[(outcome.generation, outcome.pid)] = \
+                    extra["plan_cache"]
+        response = {
+            "type": "result",
+            "checksum": outcome.checksum,
+            "payload": encode_value(outcome.value()),
+            "elapsed_ms": round(outcome.elapsed_ms, 4),
+            "generation": outcome.generation,
+            "pid": outcome.pid,
+            "plan_cached": extra.get("plan_cached"),
+            "result_cached": False,
+            "faults": int(outcome.stats.faults),
+        }
+        self.result_cache.put(full_key, dict(response))
+        response["service_ms"] = round(
+            (time.monotonic() - started) * 1000.0, 4)
+        self._count("results")
+        self._record_latency(started)
+        return response
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _count(self, name, delta=1):
+        with self._stats_lock:
+            self._counters[name] += delta
+
+    def count_error(self, exc):
+        """Classify a failed request for the counters."""
+        from ..errors import QueryTimeoutError
+        if isinstance(exc, QueryTimeoutError):
+            self._count("timeouts")
+        elif not isinstance(exc, ServerOverloadedError):
+            self._count("errors")       # overloads counted at refusal
+
+    def _record_latency(self, started):
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        with self._stats_lock:
+            self._latencies.append(elapsed_ms)
+
+    def stats(self):
+        """The aggregate state the ``stats`` request exposes."""
+        pools = {}
+        live_workers = set()
+        with self._pool_lock:
+            for generation, entry in self._pools.items():
+                executor = entry.executor
+                pids = executor.worker_pids()
+                live_workers.update((generation, pid) for pid in pids)
+                pools[str(generation)] = {
+                    "procs": executor.procs,
+                    "sessions": entry.sessions,
+                    "pids": pids,
+                    "respawns": executor.respawns,
+                    "crashes": executor.crashes,
+                    "timeouts": executor.timeouts,
+                }
+        with self._stats_lock:
+            counters = dict(self._counters)
+            latencies = list(self._latencies)
+            buffer_stats = self._buffer.as_dict()
+            # prune snapshots of killed workers / retired pools into
+            # the rollup: totals stay cumulative, the dict stays
+            # bounded by the live fleet
+            for key in [key for key in self._plan_stats
+                        if key not in live_workers]:
+                snapshot = self._plan_stats.pop(key)
+                for name in self._plan_retired:
+                    self._plan_retired[name] += snapshot.get(name, 0)
+            plan = dict(self._plan_retired)
+            plan["workers"] = len(self._plan_stats)
+            for snapshot in self._plan_stats.values():
+                plan["hits"] += snapshot.get("hits", 0)
+                plan["misses"] += snapshot.get("misses", 0)
+                plan["evictions"] += snapshot.get("evictions", 0)
+        lookups = plan["hits"] + plan["misses"]
+        plan["hit_rate"] = round(plan["hits"] / lookups, 4) \
+            if lookups else 0.0
+        with self._adm:
+            inflight, queued = self._inflight, self._queued
+        latency = percentiles(latencies)
+        latency["count"] = len(latencies)
+        return {
+            "counters": counters,
+            "inflight": inflight,
+            "queued": queued,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "latency_ms": latency,
+            "plan_cache": plan,
+            "result_cache": self.result_cache.snapshot(),
+            "buffer": buffer_stats,
+            "pools": pools,
+            "uptime_s": round(time.time() - self._started, 3),
+        }
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Shut down every pool (graceful: queued tasks finish)."""
+        with self._pool_lock:
+            self._closed = True
+            entries = list(self._pools.values())
+            self._pools.clear()
+        for entry in entries:
+            entry.executor.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.close()
+
+
+class Session:
+    """One client's pinned view of the catalog.
+
+    Created by :meth:`QueryService.session` at connection time; holds
+    the generation observed then and a reference to that generation's
+    pool.  Writers bumping the catalog afterwards are invisible to
+    this session — exactly the shared-catalog reader protocol of
+    :mod:`repro.monet.storage`, lifted to the serving layer.
+    """
+
+    __slots__ = ("service", "generation", "entry", "_released")
+
+    def __init__(self, service, generation, entry):
+        self.service = service
+        self.generation = generation
+        self.entry = entry
+        self._released = False
+
+    def execute(self, request):
+        return self.service.execute(self, request)
+
+    def close(self):
+        if not self._released:
+            self._released = True
+            self.service._release(self.generation, self.entry)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        self.close()

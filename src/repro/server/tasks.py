@@ -1,0 +1,64 @@
+"""Worker-side task kinds of the query service.
+
+This module is imported *inside every worker process* of the service's
+warm pools (via ``MultiprocExecutor(task_modules=
+("repro.server.tasks",))``), registering the ``moa`` task kind with
+the dispatcher's registry.  Keeping it out of
+:mod:`repro.monet.multiproc` preserves the layering: the monet layer
+never imports the moa/server layers at module scope.
+
+``moa`` tasks — ``("moa", key, query_text)`` — execute a textual MOA
+query against the worker's pinned-generation TPC-D catalog through a
+per-worker **LRU plan cache**: query text + catalog generation ->
+compiled :class:`~repro.moa.rewriter.RewriteResult` (flattened MIL
+program + result rep).  A hit skips parse/typecheck/rewrite entirely
+and re-executes the cached MIL plan
+(:meth:`~repro.moa.session.MOADatabase.run_compiled`).  The key
+carries the generation the worker is pinned to, so a pool serving a
+newer snapshot can never resurrect a stale plan — invalidation on
+generation bump falls out of the keying (new generation = new pool =
+cold cache, and any shared cache keyed this way misses).
+
+Each outcome ships ``extra = {"plan_cached": bool, "plan_cache":
+{hits, misses, evictions, size, capacity}}`` — the cumulative
+counters of *this worker's* cache — which the parent-side service
+aggregates into the ``stats`` response.
+"""
+
+from ..monet.multiproc import register_task_kind, ship_value
+from .cache import LRUCache
+
+#: Default per-worker plan-cache capacity (overridable through the
+#: executor's ``worker_options={"plan_cache_size": N}``).
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+
+def _plan_cache(ctx):
+    cache = ctx.state.get("plan_cache")
+    if cache is None:
+        size = ctx.options.get("plan_cache_size",
+                               DEFAULT_PLAN_CACHE_SIZE)
+        cache = ctx.state["plan_cache"] = LRUCache(size)
+    return cache
+
+
+def _moa_warmup(ctx, task):
+    ctx.db()
+
+
+def _run_moa(ctx, task):
+    _kind, _key, text = task
+    db = ctx.db()
+    cache = _plan_cache(ctx)
+    key = (text, ctx.generation)
+    compiled = cache.get(key)
+    hit = compiled is not None
+    if not hit:
+        _resolved, compiled = db.compile(text)
+        cache.put(key, compiled)
+    value = db.run_compiled(compiled)
+    extra = {"plan_cached": hit, "plan_cache": cache.snapshot()}
+    return ship_value(value), extra
+
+
+register_task_kind("moa", _run_moa, warmup=_moa_warmup)

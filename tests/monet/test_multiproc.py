@@ -7,11 +7,14 @@ and MIL programs.
 """
 
 import multiprocessing
+import os
 import pickle
+import signal
 
 import pytest
 
-from repro.errors import MILError, StaleCatalogError
+from repro.errors import (MILError, QueryTimeoutError,
+                          StaleCatalogError, WorkerCrashedError)
 from repro.monet import (MILProgram, MonetKernel, MultiprocExecutor,
                          Var, partition_independent, result_checksum,
                          run_program_serial, ship_value)
@@ -217,6 +220,84 @@ def test_open_tpcd_pin_binds_preopened_kernels(db_dir):
                             expected_generation=kernel.generation,
                             kernel=kernel)
     assert db.kernel is kernel
+
+
+# ----------------------------------------------------------------------
+# warm pool: async submit, crash handling, timeouts, task registry
+# ----------------------------------------------------------------------
+def test_submit_returns_pending_task(executor, serial_db):
+    pending = executor.submit(("query", "qasync", 6, None))
+    outcome = pending.result(timeout=60)
+    assert pending.done()
+    serial = result_checksum(ship_value(QUERIES[6].run(serial_db)))
+    assert outcome.checksum == serial
+    assert pending.pid in executor.worker_pids()
+
+
+def test_unknown_task_kind_raises_without_killing_pool(executor):
+    with pytest.raises(MILError):
+        executor.submit(("nonsense", "x")).result(timeout=60)
+    # the worker survived the failing task
+    assert executor.run_queries((6,))[6].checksum
+
+
+def test_idle_worker_death_respawns_transparently(db_dir):
+    with MultiprocExecutor(db_dir, procs=1) as pool:
+        pool.run_queries((6,))                   # worker warm
+        [pid] = pool.worker_pids()
+        os.kill(pid, signal.SIGKILL)
+        pool._workers[0].process.join(timeout=10)  # observe the death
+        # the task never started on the dead worker, so it is retried
+        # on the replacement instead of surfacing an error
+        outcome = pool.run_queries((6,))[6]
+        assert outcome.pid != pid
+        assert pool.respawns == 1
+        assert pool.crashes == 0
+
+
+def test_midtask_crash_surfaces_typed_error_and_respawns(db_dir):
+    with MultiprocExecutor(db_dir, procs=1) as pool:
+        pool.run_queries((6,))                   # catalog mapped
+        [pid] = pool.worker_pids()
+        pending = pool.submit(("query", "qcrash", 13, None))
+        assert pending.dispatched.wait(30)
+        os.kill(pid, signal.SIGKILL)
+        with pytest.raises(WorkerCrashedError):
+            pending.result(timeout=60)
+        assert pool.crashes == 1
+        # the pool keeps serving through the respawned worker
+        outcome = pool.run_queries((6,))[6]
+        assert outcome.pid != pid
+
+
+def test_timeout_kills_overdue_worker_and_recovers(db_dir, serial_db):
+    with MultiprocExecutor(db_dir, procs=1) as pool:
+        pool.run_queries((6,))
+        [pid] = pool.worker_pids()
+        with pytest.raises(QueryTimeoutError):
+            pool.submit(("query", "qslow", 13, None),
+                        timeout=0.0001).result(timeout=60)
+        assert pool.timeouts == 1
+        assert pool.worker_pids() != [pid]
+        outcome = pool.run_queries((13,))[13]
+        serial = result_checksum(ship_value(QUERIES[13].run(serial_db)))
+        assert outcome.checksum == serial
+
+
+def test_registered_moa_task_kind_with_plan_cache(db_dir, serial_db):
+    text = QUERIES[1].texts()[0]
+    expected = result_checksum(
+        ship_value(serial_db.query(text).rows))
+    with MultiprocExecutor(
+            db_dir, procs=1,
+            task_modules=("repro.server.tasks",)) as pool:
+        first = pool.submit(("moa", "m1", text)).result(timeout=120)
+        second = pool.submit(("moa", "m2", text)).result(timeout=120)
+    assert first.checksum == expected == second.checksum
+    assert first.extra["plan_cached"] is False
+    assert second.extra["plan_cached"] is True
+    assert second.extra["plan_cache"]["hits"] == 1
+    assert second.extra["plan_cache"]["misses"] == 1
 
 
 # ----------------------------------------------------------------------

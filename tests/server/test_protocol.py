@@ -1,0 +1,209 @@
+"""Wire protocol units: framing, the value codec, the LRU cache.
+
+The codec contract under test is *checksum-exact round-tripping*: for
+every value the executor can ship, ``decode(json(encode(v)))`` must
+carry the same sha1 result checksum as ``v`` — that is what lets the
+client re-verify a served payload byte-for-byte.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.moa.values import Ref, Row
+from repro.monet.mil import MILProgram, Var
+from repro.monet.multiproc import result_checksum
+from repro.server import (LRUCache, decode_program, decode_value,
+                          encode_program, encode_value, recv_frame,
+                          send_frame)
+from repro.server import protocol as proto
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_frame_roundtrip():
+    left, right = socket.socketpair()
+    try:
+        payload = {"type": "moa", "query": "count(Item)", "id": 7}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+        send_frame(right, {"ok": True})
+        assert recv_frame(left) == {"ok": True}
+    finally:
+        left.close()
+        right.close()
+
+
+def test_frame_eof_and_truncation():
+    left, right = socket.socketpair()
+    left.close()
+    assert recv_frame(right) is None           # clean EOF -> None
+    right.close()
+
+    left, right = socket.socketpair()
+    try:
+        left.sendall(b"\x00\x00\x00\x10partial")   # 16 promised, 7 sent
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_frame_size_guard():
+    left, right = socket.socketpair()
+    try:
+        left.sendall((proto.MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_undecodable_frame():
+    left, right = socket.socketpair()
+    try:
+        body = b"\xff\xfenot json"
+        left.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# value codec
+# ----------------------------------------------------------------------
+CODEC_VALUES = [
+    None,
+    True,
+    42,
+    -1.5,
+    float("nan"),
+    float("inf"),
+    "clerk#000001",
+    b"\x00\x01raw",
+    np.arange(5, dtype=np.int64),
+    np.asarray([1.5, float("nan"), float("-inf")]),
+    np.asarray(["a", "bb", None], dtype=object),
+    [1, "two", [3.0, None]],
+    (1, (2, 3)),
+    {"kind": "value", "value": [1.0, 2.0]},
+    {"kind": "bat", "head": np.arange(3), "tail": np.asarray([9, 8, 7])},
+    {1: "int-keyed", 2: "also"},
+    {(2, 3): "tuple-keyed"},
+    {"__nd__": "marker-collision"},
+    Row([("region", "EUROPE"), ("total", 12.5)]),
+    Ref("Order", 101),
+    [Row([("x", Ref("Item", 3)), ("ys", (1, 2))])],
+]
+
+
+@pytest.mark.parametrize("value", CODEC_VALUES,
+                         ids=[repr(v)[:40] for v in CODEC_VALUES])
+def test_codec_checksum_exact(value):
+    # through real JSON text, exactly like the socket path
+    wire = json.loads(json.dumps(encode_value(value)))
+    decoded = decode_value(wire)
+    assert result_checksum(decoded) == result_checksum(value)
+
+
+def test_codec_rejects_unknown_types():
+    with pytest.raises(ProtocolError):
+        encode_value(object())
+
+
+def test_ndarray_roundtrip_is_bit_exact():
+    array = np.asarray([0.1, 1e-300, -0.0, 3.141592653589793])
+    decoded = decode_value(json.loads(json.dumps(encode_value(array))))
+    assert decoded.dtype == array.dtype
+    assert decoded.tobytes() == array.tobytes()
+
+
+# ----------------------------------------------------------------------
+# MIL program codec
+# ----------------------------------------------------------------------
+def test_program_roundtrip():
+    program = MILProgram()
+    selected = program.emit("select", [Var("Item_quantity"), 10, 40])
+    program.emit("multiplex", [selected, 2.0], fn="*", target="scaled")
+    program.emit("aggr_all", [Var("scaled")], fn="sum", target="total")
+    decoded = decode_program(json.loads(json.dumps(
+        encode_program(program))))
+    assert decoded.render() == program.render()
+
+
+def test_program_codec_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        decode_program({"not": "a program"})
+    with pytest.raises(ProtocolError):
+        decode_program({"stmts": [{"target": "x"}]})
+
+
+# ----------------------------------------------------------------------
+# LRU cache
+# ----------------------------------------------------------------------
+def test_lru_eviction_order_and_stats():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refreshes a's recency
+    cache.put("c", 3)                   # evicts b, the LRU entry
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    snap = cache.snapshot()
+    assert snap["size"] == 2
+    assert snap["evictions"] == 1
+    assert snap["hits"] == 3
+    assert snap["misses"] == 1
+    assert 0 < snap["hit_rate"] < 1
+
+
+def test_lru_capacity_zero_disables():
+    cache = LRUCache(0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert len(cache) == 0
+    assert cache.stats.misses == 1
+
+
+def test_lru_invalidate_predicate():
+    cache = LRUCache(8)
+    for generation in (1, 2):
+        for name in ("x", "y"):
+            cache.put((name, generation), name * generation)
+    assert cache.invalidate(lambda key: key[1] < 2) == 2
+    assert len(cache) == 2
+    assert cache.get(("x", 2)) == "xx"
+    assert cache.invalidate() == 2
+    assert len(cache) == 0
+
+
+def test_lru_is_thread_safe_under_contention():
+    cache = LRUCache(16)
+    errors = []
+
+    def hammer(seed):
+        try:
+            for index in range(300):
+                cache.put((seed, index % 20), index)
+                cache.get((seed, (index * 7) % 20))
+        except Exception as exc:        # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 16

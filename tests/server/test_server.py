@@ -1,0 +1,366 @@
+"""Live query-service tests: sockets, concurrency, caches, pinning.
+
+A real :class:`QueryServer` runs on an ephemeral localhost port over
+a saved tiny TPC-D catalog; clients connect over TCP exactly like the
+CLI would.  The core contract everywhere: a served result's sha1
+checksum equals serial execution of the same query (the client
+re-verifies each decoded payload against the shipped digest on its
+own, so every assertion below rides on verified payloads).
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.errors import (ProtocolError, QueryTimeoutError,
+                          ServerError, ServerOverloadedError)
+from repro.monet import MILProgram, MonetKernel, Var
+from repro.monet.multiproc import (result_checksum, run_program_serial,
+                                   ship_value)
+from repro.server import QueryClient, QueryServer, QueryService
+from repro.tpcd import QUERIES, load_tpcd, open_tpcd
+from repro.tpcd.loader import save_tpcd
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="server tests fork worker pools (spawn "
+                          "re-imports per worker, too slow for tier-1)")
+
+
+@pytest.fixture(scope="module")
+def db_dir(tiny_tpcd, tmp_path_factory):
+    path = tmp_path_factory.mktemp("servedb") / "db"
+    load_tpcd(tiny_tpcd, db_dir=path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def serial_checksums(db_dir):
+    db, _report = open_tpcd(db_dir)
+    return {number: result_checksum(ship_value(QUERIES[number].run(db)))
+            for number in sorted(QUERIES)}
+
+
+@pytest.fixture(scope="module")
+def server(db_dir):
+    service = QueryService(db_dir, procs=2, result_cache_size=16)
+    with QueryServer(service) as srv:
+        yield srv
+    service.close()
+
+
+def _connect(server):
+    host, port = server.address
+    return QueryClient(host, port)
+
+
+# ----------------------------------------------------------------------
+# basic requests
+# ----------------------------------------------------------------------
+def test_hello_and_ping(server):
+    with _connect(server) as client:
+        assert client.protocol == 1
+        assert client.generation == 1
+        assert client.ping() == 1
+
+
+def test_tpcd_query_checksum_and_value(server, serial_checksums,
+                                       tiny_tpcd_db):
+    with _connect(server) as client:
+        reply = client.tpcd(6)
+        assert reply.checksum == serial_checksums[6]
+        assert reply.value == pytest.approx(QUERIES[6].run(tiny_tpcd_db))
+        assert reply.generation == 1
+        assert reply.elapsed_ms >= 0.0
+        assert reply.service_ms >= reply.elapsed_ms
+
+
+def test_tpcd_param_overrides_change_the_result(server):
+    with _connect(server) as client:
+        base = client.tpcd(6)
+        widened = client.tpcd(6, params={"qty": 100})
+        assert widened.checksum != base.checksum
+
+
+def test_moa_text_query_matches_query_driver(server, serial_checksums):
+    with _connect(server) as client:
+        reply = client.moa(QUERIES[1].texts()[0])
+        assert reply.checksum == serial_checksums[1]
+        rows = reply.value
+        assert rows and hasattr(rows[0], "names")    # decoded Rows
+
+
+def test_mil_program_over_the_wire(server, db_dir):
+    program = MILProgram()
+    selected = program.emit("select", [Var("Item_quantity"), 10, 40])
+    joined = program.emit("join", [selected,
+                                   Var("Item_extendedprice")])
+    program.emit("aggr_all", [joined], fn="sum", target="total")
+    kernel = MonetKernel.open(db_dir)
+    _env, expected = run_program_serial(kernel, program, ["total"])
+    with _connect(server) as client:
+        reply = client.mil(program, ["total"])
+        assert reply.checksum == expected
+        assert "total" in reply.value
+
+
+def test_malformed_requests_raise_typed_errors(server):
+    with _connect(server) as client:
+        with pytest.raises(ProtocolError):
+            client.moa("")
+        with pytest.raises(ServerError):
+            client.tpcd(999)             # unknown query number
+        # the connection survives an error frame
+        assert client.ping() == 1
+
+
+def test_moa_syntax_error_is_typed_and_non_fatal(server):
+    from repro.errors import MOAError
+    with _connect(server) as client:
+        with pytest.raises(MOAError):
+            client.moa("select[((((Item)")
+        assert client.ping() == 1
+
+
+# ----------------------------------------------------------------------
+# concurrency: >= 4 clients over the full query set
+# ----------------------------------------------------------------------
+def test_four_concurrent_clients_full_query_set(server,
+                                                serial_checksums):
+    failures = []
+
+    def client_loop(tid):
+        try:
+            with _connect(server) as client:
+                for number in sorted(QUERIES):
+                    reply = client.tpcd(number)
+                    assert reply.checksum == serial_checksums[number], \
+                        "client %d diverged on Q%d" % (tid, number)
+        except BaseException as exc:     # noqa: BLE001
+            failures.append((tid, exc))
+
+    threads = [threading.Thread(target=client_loop, args=(tid,))
+               for tid in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+
+
+# ----------------------------------------------------------------------
+# caches
+# ----------------------------------------------------------------------
+def test_plan_cache_hits_are_observable(db_dir, serial_checksums):
+    # a dedicated single-worker service: the second identical Moa text
+    # must land on the same (only) worker and hit its plan cache
+    service = QueryService(db_dir, procs=1, result_cache_size=0)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            text = QUERIES[3].texts()[0]
+            first = client.moa(text)
+            second = client.moa(text)
+            assert first.checksum == second.checksum \
+                == serial_checksums[3]
+            assert first.plan_cached is False
+            assert second.plan_cached is True
+            stats = client.stats()
+    service.close()
+    plan = stats["plan_cache"]
+    assert plan["hits"] >= 1
+    assert plan["misses"] >= 1
+    assert 0.0 < plan["hit_rate"] < 1.0
+
+
+def test_result_cache_short_circuits(db_dir, serial_checksums):
+    service = QueryService(db_dir, procs=1, result_cache_size=8)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            first = client.tpcd(12)
+            second = client.tpcd(12)
+            assert first.result_cached is False
+            assert second.result_cached is True
+            assert second.checksum == first.checksum \
+                == serial_checksums[12]
+            stats = client.stats()
+    service.close()
+    assert stats["result_cache"]["hits"] == 1
+    assert stats["counters"]["result_cache_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_stats_shape_and_latency_percentiles(server):
+    with _connect(server) as client:
+        for _ in range(3):
+            client.tpcd(12)
+        stats = client.stats()
+    latency = stats["latency_ms"]
+    assert latency["count"] >= 3
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert stats["counters"]["requests"] >= 3
+    assert stats["buffer"]["faults"] >= 0
+    pools = stats["pools"]
+    assert "1" in pools
+    assert pools["1"]["procs"] == 2
+    assert len(pools["1"]["pids"]) == 2
+    assert stats["inflight"] == 0
+
+
+# ----------------------------------------------------------------------
+# admission control + timeouts
+# ----------------------------------------------------------------------
+def test_admission_overload_is_typed(db_dir):
+    service = QueryService(db_dir, procs=1, max_inflight=1,
+                           max_queue=0)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            client.tpcd(6)               # pool warm, service healthy
+            # occupy the only in-flight slot from the side
+            with service._adm:
+                service._inflight += 1
+            try:
+                with pytest.raises(ServerOverloadedError):
+                    client.tpcd(6)
+            finally:
+                with service._adm:
+                    service._inflight -= 1
+                    service._adm.notify()
+            assert client.tpcd(6).checksum    # healthy again
+            stats = client.stats()
+    service.close()
+    assert stats["counters"]["overloads"] == 1
+
+
+def test_queue_wait_past_timeout_budget_overloads(db_dir):
+    service = QueryService(db_dir, procs=1, max_inflight=1,
+                           max_queue=4)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            with service._adm:
+                service._inflight += 1
+            try:
+                started = time.monotonic()
+                with pytest.raises(ServerOverloadedError):
+                    client.tpcd(6, timeout=0.2)
+                assert time.monotonic() - started >= 0.2
+            finally:
+                with service._adm:
+                    service._inflight -= 1
+                    service._adm.notify()
+    service.close()
+
+
+def test_query_timeout_kills_worker_and_recovers(db_dir,
+                                                 serial_checksums):
+    service = QueryService(db_dir, procs=1)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            client.tpcd(6)                       # warm the worker
+            before = service.stats()["pools"]["1"]["pids"]
+            with pytest.raises(QueryTimeoutError):
+                client.tpcd(13, timeout=0.0001)
+            # the worker was killed and respawned; the session serves on
+            reply = client.tpcd(13)
+            assert reply.checksum == serial_checksums[13]
+            stats = client.stats()
+            after = stats["pools"]["1"]["pids"]
+    service.close()
+    assert stats["counters"]["timeouts"] == 1
+    assert stats["pools"]["1"]["respawns"] >= 1
+    assert before != after
+
+
+# ----------------------------------------------------------------------
+# generation pinning under live rewrites
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def rewritable_db(tiny_tpcd, tmp_path):
+    path = tmp_path / "db"
+    load_tpcd(tiny_tpcd, db_dir=path)
+    return path
+
+
+def _bump_generation(db_dir):
+    db, _report = open_tpcd(db_dir)
+    save_tpcd(db, db_dir)                # dataset-less re-save: +1
+
+
+def test_sessions_pin_their_generation_across_bumps(rewritable_db,
+                                                    serial_checksums):
+    service = QueryService(rewritable_db, procs=1)
+    with QueryServer(service) as srv:
+        old = _connect(srv)
+        try:
+            assert old.generation == 1
+            assert old.tpcd(6).generation == 1
+
+            _bump_generation(rewritable_db)
+
+            # the old session still serves its pinned snapshot
+            reply = old.tpcd(6)
+            assert reply.generation == 1
+            assert reply.checksum == serial_checksums[6]
+
+            # a new session sees the bump and gets its own pool
+            with _connect(srv) as fresh:
+                assert fresh.generation == 2
+                fresh_reply = fresh.tpcd(6)
+                assert fresh_reply.generation == 2
+                # a re-save of identical data: same rows, same sha1
+                assert fresh_reply.checksum == serial_checksums[6]
+                assert sorted(fresh.stats()["pools"]) == ["1", "2"]
+        finally:
+            old.close()
+        # the stale pool retires once its last pinned session ends
+        deadline = time.monotonic() + 10.0
+        while service.pool_generations() != [2]:
+            assert time.monotonic() < deadline, \
+                service.pool_generations()
+            time.sleep(0.02)
+    service.close()
+
+
+def test_clients_keep_serving_through_live_rewrites(rewritable_db,
+                                                    serial_checksums):
+    """The satellite stress: readers query through the server while a
+    writer keeps bumping generations; every reply verifies against its
+    session's pinned snapshot and nothing errors or tears."""
+    service = QueryService(rewritable_db, procs=2)
+    failures = []
+    generations_seen = set()
+    stop = threading.Event()
+
+    with QueryServer(service) as srv:
+        def reader(tid):
+            try:
+                while not stop.is_set():
+                    with _connect(srv) as client:
+                        generations_seen.add(client.generation)
+                        for number in (1, 6, 12):
+                            reply = client.tpcd(number)
+                            assert reply.generation == \
+                                client.generation
+                            assert reply.checksum == \
+                                serial_checksums[number]
+            except BaseException as exc:     # noqa: BLE001
+                failures.append((tid, exc))
+
+        threads = [threading.Thread(target=reader, args=(tid,))
+                   for tid in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _round in range(2):
+                time.sleep(0.3)
+                _bump_generation(rewritable_db)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+    service.close()
+    assert not failures, failures[:2]
+    assert len(generations_seen) >= 2, generations_seen

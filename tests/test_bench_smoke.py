@@ -45,6 +45,8 @@ def test_quick_bench_writes_trajectory(tmp_path):
     for entry in results["queries"].values():
         assert entry["median_ms"] >= 0
         assert entry["faults"] >= 0
+        # tail-latency percentiles ride along with every median
+        assert entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
 
 
 def test_quick_bench_db_dir_warm_start(tmp_path):
@@ -62,9 +64,12 @@ def test_quick_bench_db_dir_warm_start(tmp_path):
     # runs the query set through the multi-process dispatcher (the
     # harness hard-errors unless every worker checksum equals the
     # serial run's)
+    # --serve 1 --serve 2 additionally drives the query set through
+    # the socket query service at two concurrency levels (closed-loop
+    # clients; reply checksums hard-asserted against the serial run)
     assert main(["--quick", "--out", str(out), "--db-dir", str(db_dir),
                  "--no-regression-check", "--workers", "0",
-                 "--procs", "2"]) == 0
+                 "--procs", "2", "--serve", "1", "--serve", "2"]) == 0
     warm = json.loads(out.read_text())
     assert warm["load"]["warm_start"] is True
     assert "parallel" not in warm
@@ -85,6 +90,19 @@ def test_quick_bench_db_dir_warm_start(tmp_path):
     assert set(section["queries"]) == set(cold["queries"])
     for number, entry in section["queries"].items():
         assert entry["checksum"] == cold["queries"][number]["checksum"]
+    serve = warm["serve"]
+    assert serve["checksums_match"] is True
+    assert serve["clients_swept"] == [1, 2]
+    assert set(serve["sweep"]) == {"1", "2"}
+    for entry in serve["sweep"].values():
+        # every client runs the full 15-query set once per round
+        # (single-text queries travel as Moa text, two-phase as tpcd)
+        assert entry["requests"] == entry["clients"] * 15 * \
+            serve["rounds"]
+        assert entry["qps"] > 0
+        assert entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+    # the acceptance observable: repeated rounds hit the plan caches
+    assert serve["plan_cache"]["hits"] > 0
 
 
 def test_regression_gate():

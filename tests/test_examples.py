@@ -18,6 +18,18 @@ def test_example_runs(script):
     assert proc.stdout.strip()
 
 
+def test_serve_smoke_runs(tmp_path):
+    """The query-service smoke: a real server subprocess, 4 concurrent
+    clients, every checksum diffed against an independent serial run."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "serve_smoke.py"),
+         "--db-dir", str(tmp_path / "db"), "--clients", "4"],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, \
+        proc.stdout[-2000:] + proc.stderr[-2000:]
+    assert "OK: every served checksum matches" in proc.stdout
+
+
 def test_tpcd_analytics_runs():
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / "tpcd_analytics.py"), "0.0005"],
