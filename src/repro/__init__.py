@@ -21,10 +21,10 @@ Entry point for most uses::
     from repro.tpcd import generate, load_tpcd, QUERIES
 """
 
-from . import costmodel, moa, monet, tpcd
+from . import costmodel, faults, moa, monet, tpcd
 from .errors import ReproError
 
 __version__ = "0.1.0"
 
-__all__ = ["costmodel", "moa", "monet", "tpcd", "ReproError",
-           "__version__"]
+__all__ = ["costmodel", "faults", "moa", "monet", "tpcd",
+           "ReproError", "__version__"]

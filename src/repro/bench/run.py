@@ -602,6 +602,7 @@ def _serve_section(db_dir, clients_sweep, procs, serial,
     try:
         with QueryServer(service) as server:
             host, port = server.address
+            resilience = {"client_retries": 0, "client_reconnects": 0}
             for clients in clients_sweep:
                 latencies = []
                 failures = []
@@ -610,7 +611,11 @@ def _serve_section(db_dir, clients_sweep, procs, serial,
                 def _client_loop():
                     local = []
                     try:
-                        with QueryClient(host, port) as client:
+                        # retry-enabled, like a production client: any
+                        # transient reconnect/backoff shows up in the
+                        # resilience counters instead of failing the run
+                        with QueryClient(host, port, retries=2,
+                                         backoff_base=0.02) as client:
                             for _ in range(rounds):
                                 for number, kind, text in requests:
                                     sent = time.perf_counter()
@@ -638,6 +643,10 @@ def _serve_section(db_dir, clients_sweep, procs, serial,
                         return
                     with lock:
                         latencies.extend(local)
+                        resilience["client_retries"] += \
+                            client.retries_used
+                        resilience["client_reconnects"] += \
+                            client.reconnects
 
                 started = time.perf_counter()
                 threads = [threading.Thread(target=_client_loop,
@@ -667,6 +676,21 @@ def _serve_section(db_dir, clients_sweep, procs, serial,
     section["result_cache"] = stats["result_cache"]
     section["buffer"] = stats["buffer"]
     section["counters"] = stats["counters"]
+    counters = stats["counters"]
+    resilience.update({
+        "crash_retries": counters.get("crash_retries", 0),
+        "shed": counters.get("overloads", 0),
+        "quota_rejections": counters.get("quota_rejections", 0),
+        "drain_rejections": counters.get("drain_rejections", 0),
+        "auth_failures": counters.get("auth_failures", 0),
+        "errors": counters.get("errors", 0),
+    })
+    section["resilience"] = resilience
+    if counters.get("errors", 0):
+        # hard gate: with no faults armed, a healthy sweep must not
+        # record a single unexplained execution error
+        raise RuntimeError("serve sweep recorded %d unexplained "
+                           "server-side errors" % counters["errors"])
     section["generation"] = int(
         max(int(generation) for generation in stats["pools"])
         if stats["pools"] else 0)

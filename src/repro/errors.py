@@ -74,15 +74,58 @@ class ProtocolError(ServerError):
     shipped payload whose checksum does not verify on the client."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A peer announced a frame longer than ``MAX_FRAME_BYTES``.  The
+    server answers with a typed error frame before hanging up, so the
+    client sees this instead of a silent disconnect."""
+
+
 class ServerOverloadedError(ServerError):
     """Admission control rejected the request: the in-flight limit is
     reached and the bounded wait queue is full (or the queue wait
-    exceeded its budget).  Back off and retry."""
+    exceeded its budget), or the worker pool is respawning after
+    repeated crashes.  Back off and retry."""
+
+
+class QuotaExceededError(ServerOverloadedError):
+    """A per-client request quota (token bucket) rejected the request.
+    Retryable after backoff, like any overload."""
+
+
+class ServerDrainingError(ServerError):
+    """The server is shutting down gracefully: it stopped accepting
+    work and is finishing in-flight requests.  Reconnect elsewhere or
+    retry once the restart completes."""
+
+
+class AuthError(ServerError):
+    """The server requires a shared-secret token and the client sent a
+    missing or wrong one (or sent requests before authenticating)."""
 
 
 class QueryTimeoutError(ServerError):
     """A query exceeded its per-query timeout.  The worker executing it
     is killed and respawned, so the slot is reclaimed immediately."""
+
+
+class ConnectionLostError(ServerError):
+    """The client lost its connection mid-request (reset, EOF, or a
+    frame torn by the peer).  Idempotent reads may be retried on a
+    fresh connection."""
+
+
+class RetriesExhaustedError(ConnectionLostError):
+    """A client retry policy ran out of attempts.  ``__cause__`` holds
+    the last underlying error."""
+
+    def __init__(self, message, attempts=None):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class InjectedFaultError(ReproError):
+    """A :mod:`repro.faults` plan fired at an injection point.  Only
+    ever raised while a fault plan is installed (tests, chaos suite)."""
 
 
 class MOAError(ReproError):

@@ -73,6 +73,7 @@ from collections import deque
 
 import numpy as np
 
+from .. import faults
 from ..errors import MILError, QueryTimeoutError, WorkerCrashedError
 from .buffer import BufferManager, BufferStats, set_manager
 from .mil import MILInterpreter, partition_independent
@@ -87,6 +88,18 @@ DEFAULT_PROCS = 2
 
 #: Seconds between liveness/timeout checks while a task is in flight.
 _POLL_INTERVAL = 0.05
+
+#: Chaos injection points of the worker loop (fired *inside* worker
+#: processes; ship a plan via ``MultiprocExecutor(fault_plan=...)``).
+#: ``crash`` at ``start``/``mid`` surfaces as WorkerCrashedError on
+#: the task; after ``post_result`` the parent already has the outcome
+#: and the idle death is retried transparently; ``delay`` at ``mid``
+#: drives the per-task timeout kill.  ``raise`` anywhere ships a typed
+#: InjectedFaultError back like any task failure.
+faults.declare(
+    "multiproc.task.start", "multiproc.task.mid",
+    "multiproc.task.post_result",
+)
 
 
 def default_start_method():
@@ -289,11 +302,14 @@ class WorkerContext:
 
 def _worker_init(db_dir, expected_generation, page_size, ship,
                  result_dir, lock_timeout, task_modules=(),
-                 worker_options=None):
+                 worker_options=None, fault_plan=None):
     import importlib
 
     manager = BufferManager(page_size=page_size)
     set_manager(manager)
+    # the executor's fault plan rides the init args (picklable), so
+    # injection works under spawn too; None = chaos layer off
+    faults.set_plan(fault_plan)
     _STATE.update(db_dir=db_dir, generation=expected_generation,
                   manager=manager, ship=ship, result_dir=result_dir,
                   lock_timeout=lock_timeout, kernel=None, db=None,
@@ -420,11 +436,17 @@ def _worker_main(parent_conn, conn, init_args):
         if task is None:
             break
         try:
+            faults.fire("multiproc.task.start")
             message = ("ok", _run_task(task))
+            # between execution and the reply: a crash here loses a
+            # finished result (the parent must treat it as crashed),
+            # a delay here overruns the per-task timeout
+            faults.fire("multiproc.task.mid")
         except BaseException as exc:       # noqa: BLE001 — shipped
             message = ("err", exc)
         try:
             conn.send(message)
+            faults.fire("multiproc.task.post_result")
         except (pickle.PicklingError, TypeError, AttributeError):
             # an unpicklable result/exception must not kill the
             # worker: degrade to a typed, always-picklable error
@@ -555,12 +577,17 @@ class MultiprocExecutor:
     worker_options:
         Picklable dict exposed to task handlers as
         :attr:`WorkerContext.options` (e.g. plan-cache sizing).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` installed in every
+        worker process (chaos testing); ``None`` — the default — keeps
+        the injection layer off.
     """
 
     def __init__(self, db_dir, procs=DEFAULT_PROCS, start_method=None,
                  expected_generation=None, page_size=4096,
                  ship="inline", result_dir=None, lock_timeout=None,
-                 task_modules=(), worker_options=None):
+                 task_modules=(), worker_options=None,
+                 fault_plan=None):
         if ship not in ("inline", "file"):
             raise ValueError("ship must be 'inline' or 'file'")
         from .storage import catalog_generation
@@ -587,7 +614,7 @@ class MultiprocExecutor:
         self._init_args = (self.db_dir, self.generation, page_size,
                            ship, result_dir, lock_timeout,
                            tuple(task_modules),
-                           dict(worker_options or {}))
+                           dict(worker_options or {}), fault_plan)
         #: tasks crashed + workers respawned since start (observability)
         self.crashes = 0
         self.timeouts = 0

@@ -66,6 +66,7 @@ except ImportError:                          # non-POSIX: advisory
 
 import numpy as np
 
+from .. import faults
 from ..errors import (CatalogChangedError, CatalogError,
                       CatalogLockTimeout, HeapError, StaleCatalogError)
 from . import atoms as _atoms
@@ -92,6 +93,19 @@ DEFAULT_LOCK_TIMEOUT = 10.0
 OPEN_RETRIES = 3
 
 _PROP_FLAGS = ("hkey", "hordered", "tkey", "tordered")
+
+#: Chaos injection points of the save path (see :mod:`repro.faults`).
+#: ``torn`` points use the ``tear`` action (the site writes a short
+#: payload, then raises or crashes); the rest honour ``raise``/
+#: ``crash``/``delay``.  All are no-ops without an installed plan.
+faults.declare(
+    "storage.save.begin", "storage.save.heaps_written",
+    "storage.save.manifest_written",
+    "storage.write_array.torn", "storage.write_array.staged",
+    "storage.write_array.synced", "storage.write_array.renamed",
+    "storage.manifest.torn", "storage.manifest.staged",
+    "storage.manifest.synced", "storage.manifest.renamed",
+)
 
 
 # ----------------------------------------------------------------------
@@ -262,8 +276,21 @@ class HeapStorage:
         """True when a manifest has been written to this backend."""
         raise NotImplementedError
 
-    def prune(self, keep):
-        """Drop stored arrays not named in ``keep`` (best effort)."""
+    def prune(self, keep, keep_prefix=None):
+        """Drop stored arrays not named in ``keep`` (best effort).
+
+        ``keep_prefix`` additionally protects every name starting with
+        it — the in-flight save's own freshly written files."""
+
+    def sweep_stale(self, manifest):
+        """Recovery sweep: drop staging litter and orphaned heap files
+        left behind by a save that crashed before its manifest rename
+        (no-op for in-process backends — they cannot crash mid-save
+        and survive)."""
+
+    def sync_directory(self):
+        """fsync the directory holding the catalog (no-op when the
+        backend has no directory)."""
 
     def lock(self):
         """The backend's :class:`CatalogLock` (no-op when storage is
@@ -309,8 +336,10 @@ class MemoryBackend(HeapStorage):
     def exists(self):
         return self._manifest is not None
 
-    def prune(self, keep):
-        for name in [n for n in self._arrays if n not in keep]:
+    def prune(self, keep, keep_prefix=None):
+        for name in [n for n in self._arrays if n not in keep
+                     and not (keep_prefix
+                              and n.startswith(keep_prefix))]:
             del self._arrays[name]
 
 
@@ -334,12 +363,27 @@ class MmapBackend(HeapStorage):
     def write_array(self, name, array):
         os.makedirs(self.path, exist_ok=True)
         array = np.ascontiguousarray(array, dtype=_le(array.dtype))
-        # write-to-temp + rename: ``array`` may be an np.memmap of the
-        # destination itself (saving a kernel back to the directory it
-        # was opened from) — truncating in place would SIGBUS the copy
+        # write-to-temp + fsync + rename: ``array`` may be an np.memmap
+        # of the destination itself (saving a kernel back to the
+        # directory it was opened from) — truncating in place would
+        # SIGBUS the copy; skipping the fsync would let the post-crash
+        # filesystem keep the rename but drop the bytes
         staging = self._file(name + ".tmp")
-        array.tofile(staging)
+        spec = faults.fire("storage.write_array.torn")
+        if spec is not None:
+            payload = array.tobytes()
+            with open(staging, "wb") as handle:
+                handle.write(payload[:int(len(payload)
+                                          * spec.fraction)])
+            spec.conclude()
+        with open(staging, "wb") as handle:
+            array.tofile(handle)
+            handle.flush()
+            faults.fire("storage.write_array.staged")
+            os.fsync(handle.fileno())
+        faults.fire("storage.write_array.synced")
         os.replace(staging, self._file(name))
+        faults.fire("storage.write_array.renamed")
 
     def read_array(self, name, dtype, length):
         path = self._file(name)
@@ -361,10 +405,26 @@ class MmapBackend(HeapStorage):
     def write_manifest(self, manifest):
         os.makedirs(self.path, exist_ok=True)
         staging = self._file(MANIFEST + ".tmp")
+        payload = json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+        spec = faults.fire("storage.manifest.torn")
+        if spec is not None:
+            with open(staging, "w") as handle:
+                handle.write(payload[:int(len(payload)
+                                          * spec.fraction)])
+            spec.conclude()
         with open(staging, "w") as handle:
-            json.dump(manifest, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+            handle.write(payload)
+            handle.flush()
+            faults.fire("storage.manifest.staged")
+            os.fsync(handle.fileno())
+        faults.fire("storage.manifest.synced")
         os.replace(staging, self._file(MANIFEST))
+        faults.fire("storage.manifest.renamed")
+        # one directory fsync after the manifest rename makes the whole
+        # save durable: every heap file of this generation was fsynced
+        # before its own rename, and all the renames live in this one
+        # directory
+        self.sync_directory()
 
     def read_manifest(self):
         path = self._file(MANIFEST)
@@ -389,7 +449,7 @@ class MmapBackend(HeapStorage):
     _OWNED_SUFFIXES = (".col", ".idx", ".off", ".body", ".order",
                        ".keys", ".extent", ".tmp")
 
-    def prune(self, keep):
+    def prune(self, keep, keep_prefix=None):
         try:
             names = os.listdir(self.path)
         except OSError:
@@ -397,12 +457,36 @@ class MmapBackend(HeapStorage):
         for name in names:
             if name in keep or name == MANIFEST:
                 continue
+            if keep_prefix and name.startswith(keep_prefix):
+                continue
             if not name.endswith(self._OWNED_SUFFIXES):
                 continue
             try:
                 os.unlink(self._file(name))
             except OSError:
                 pass
+
+    def sweep_stale(self, manifest):
+        # everything the durable manifest references is kept; staging
+        # ``.tmp`` litter and heap files of a crashed save's dead
+        # generation are orphans with owned suffixes, so prune's
+        # keep-set logic is exactly the recovery sweep
+        try:
+            self.prune(_manifest_files(manifest))
+        except Exception:                        # best effort on open
+            pass
+
+    def sync_directory(self):
+        if not hasattr(os, "O_DIRECTORY"):      # pragma: no cover
+            return
+        try:
+            fd = os.open(self.path, os.O_RDONLY | os.O_DIRECTORY)
+        except OSError:                          # pragma: no cover
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 
 def as_backend(target):
@@ -441,6 +525,26 @@ def _previous_generation(backend):
         return 0
 
 
+def next_generation(target):
+    """The generation the next save will assign.  Callers naming files
+    for that save (e.g. the TPC-D loader's row-store section) must
+    hold the exclusive catalog lock so the answer cannot move."""
+    return _previous_generation(as_backend(target)) + 1
+
+
+def generation_prefix(generation):
+    """File-name prefix scoping heap files to one generation.
+
+    Every save writes its heaps under fresh names (``g<N>.…``), so the
+    previous generation's files are never renamed over or truncated:
+    a save killed at *any* point before its manifest rename leaves the
+    old generation byte-for-byte intact, and the new generation's
+    half-written files are unreferenced orphans for the recovery
+    sweep.  Pre-existing catalogs with unprefixed names keep opening
+    unchanged — readers take file names from the manifest."""
+    return "g%d." % generation
+
+
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
@@ -467,6 +571,20 @@ def save_kernel(kernel, target, meta=None, extra=None,
 
 
 def _save_kernel_locked(kernel, backend, meta, extra):
+    generation = _previous_generation(backend) + 1
+    prefix = generation_prefix(generation)
+    # recovery sweep before writing anything: a previously crashed
+    # save may have left ``.tmp`` staging litter or orphaned heap
+    # files of a dead generation behind.  Files of *this* save's
+    # generation are protected — the TPC-D loader writes its row-store
+    # section under the same prefix before delegating here (inside the
+    # same re-entrant exclusive lock).
+    try:
+        backend.prune(_manifest_files(backend.read_manifest()),
+                      keep_prefix=prefix)
+    except (CatalogError, KeyError):
+        backend.prune(set(), keep_prefix=prefix)
+    faults.fire("storage.save.begin")
     groups = _AlignmentGroups()
     var_heaps = {}
     bats = {}
@@ -474,16 +592,16 @@ def _save_kernel_locked(kernel, backend, meta, extra):
     for name in kernel.names():
         bat = kernel.get(name)
         entry = {
-            "head": _save_column(backend, var_heaps, name + ".head",
-                                 bat.head),
-            "tail": _save_column(backend, var_heaps, name + ".tail",
-                                 bat.tail),
+            "head": _save_column(backend, var_heaps, prefix,
+                                 name + ".head", bat.head),
+            "tail": _save_column(backend, var_heaps, prefix,
+                                 name + ".tail", bat.tail),
             "props": [flag for flag in _PROP_FLAGS
                       if getattr(bat.props, flag)],
             "alignment": groups.index_of(bat.alignment),
         }
-        accel = _save_accelerators(backend, var_heaps, name, bat,
-                                   registries)
+        accel = _save_accelerators(backend, var_heaps, prefix, name,
+                                   bat, registries)
         if accel:
             entry["accel"] = accel
         bats[name] = entry
@@ -497,16 +615,17 @@ def _save_kernel_locked(kernel, backend, meta, extra):
         if shared is not None:
             datavectors[class_name] = {"extent_bat": shared}
             continue
-        stem = "_dv.%s.extent" % class_name
+        stem = prefix + "_dv.%s.extent" % class_name
         backend.write_array(stem, np.asarray(registry.extent,
                                              dtype=np.int64))
         datavectors[class_name] = {"extent": {
             "file": stem, "dtype": "<i8",
             "length": len(registry.extent)}}
+    faults.fire("storage.save.heaps_written")
     manifest = {
         "format": FORMAT,
         "version": VERSION,
-        "generation": _previous_generation(backend) + 1,
+        "generation": generation,
         "meta": dict(meta or {}),
         "alignment_groups": groups.tags,
         "var_heaps": var_heaps,
@@ -519,6 +638,7 @@ def _save_kernel_locked(kernel, backend, meta, extra):
                                "with a reserved key" % key)
         manifest[key] = section
     backend.write_manifest(manifest)
+    faults.fire("storage.save.manifest_written")
     # with the new manifest durable, drop files it no longer
     # references (heap ids are process-global, so a re-save would
     # otherwise strand the previous save's files forever).  Readers
@@ -590,13 +710,14 @@ class _AlignmentGroups:
         return index
 
 
-def _save_column(backend, var_heaps, stem, column):
+def _save_column(backend, var_heaps, prefix, stem, column):
     if isinstance(column, VoidColumn):
         return {"kind": "void", "seqbase": column.seqbase,
                 "length": column.length}
     if isinstance(column, VarColumn):
-        heap_key = _save_var_heap(backend, var_heaps, column.heap)
-        file_name = stem + ".idx"
+        heap_key = _save_var_heap(backend, var_heaps, prefix,
+                                  column.heap)
+        file_name = prefix + stem + ".idx"
         backend.write_array(file_name, column.indices)
         return {"kind": "var", "atom": column.atom.name,
                 "file": file_name, "dtype": "<i4",
@@ -604,7 +725,7 @@ def _save_column(backend, var_heaps, stem, column):
                 "label": column._index_heap.label}
     if isinstance(column, FixedColumn):
         dtype = _le(column.data.dtype)
-        file_name = stem + ".col"
+        file_name = prefix + stem + ".col"
         backend.write_array(file_name, column.data)
         return {"kind": "fixed", "atom": column.atom.name,
                 "file": file_name, "dtype": dtype.str,
@@ -613,7 +734,7 @@ def _save_column(backend, var_heaps, stem, column):
                        % type(column).__name__)
 
 
-def _save_var_heap(backend, var_heaps, heap):
+def _save_var_heap(backend, var_heaps, prefix, heap):
     key = "vh%d" % heap.heap_id
     if key in var_heaps:
         return key
@@ -628,16 +749,18 @@ def _save_var_heap(backend, var_heaps, heap):
                       out=offsets[1:])
         body = np.frombuffer(b"".join(piece + b"\0" for piece in encoded),
                              dtype=np.uint8)
-    backend.write_array(key + ".off", offsets)
-    backend.write_array(key + ".body", body)
-    var_heaps[key] = {"offsets": key + ".off", "body": key + ".body",
+    backend.write_array(prefix + key + ".off", offsets)
+    backend.write_array(prefix + key + ".body", body)
+    var_heaps[key] = {"offsets": prefix + key + ".off",
+                      "body": prefix + key + ".body",
                       "count": int(len(offsets) - 1),
                       "body_bytes": int(offsets[-1]) if len(offsets) else 0,
                       "label": heap.label}
     return key
 
 
-def _save_accelerators(backend, var_heaps, name, bat, registries):
+def _save_accelerators(backend, var_heaps, prefix, name, bat,
+                       registries):
     accel = {}
     vector = bat.accel.get("datavector")
     if vector is not None:
@@ -645,14 +768,14 @@ def _save_accelerators(backend, var_heaps, name, bat, registries):
                               vector.registry)
         accel["datavector"] = {
             "class": vector.registry.class_name,
-            "vector": _save_column(backend, var_heaps, name + ".dv",
-                                   vector.vector),
+            "vector": _save_column(backend, var_heaps, prefix,
+                                   name + ".dv", vector.vector),
         }
     for slot in ("hash", "hash_tail"):
         index = bat.accel.get(slot)
         if isinstance(index, HashIndex) and index.map.vectorised:
-            order_file = "%s.%s.order" % (name, slot)
-            keys_file = "%s.%s.keys" % (name, slot)
+            order_file = "%s%s.%s.order" % (prefix, name, slot)
+            keys_file = "%s%s.%s.keys" % (prefix, name, slot)
             backend.write_array(order_file,
                                 np.asarray(index.map.order, dtype=np.int64))
             keys = np.asarray(index.map.sorted_keys)
@@ -725,6 +848,13 @@ def open_with_protocol(backend, map_manifest, expected_generation=None,
                 raise CatalogChangedError(
                     "catalog was rewritten while opening generation "
                     "%d (lock-free reader)" % generation)
+            if lock.held:
+                # recovery sweep: under the shared lock no writer can
+                # be staging files, so every ``.tmp`` and every
+                # unreferenced heap file is litter from a crashed
+                # save.  Lock-free readers must not sweep — they could
+                # race a live writer's staging files.
+                backend.sweep_stale(manifest)
             return result, generation
 
 

@@ -26,18 +26,32 @@ the multi-process dispatcher uses (:func:`repro.monet.multiproc.
 result_checksum`), and :class:`QueryClient` re-verifies it after
 decoding — a served result is byte-contract-identical to serial
 execution.
+
+The serving path is hardened end to end (see the README's
+"Operations & failure modes"): :class:`QueryClient` retries
+idempotent reads over lost connections and shed load
+(``retries=N``, exponential backoff + jitter, per-request ids);
+:class:`QueryServer` supports shared-secret auth, per-connection
+request quotas, typed error frames for oversized requests, and
+graceful SIGTERM draining; :class:`QueryService` transparently
+resubmits requests whose worker crashed mid-query before degrading
+to a typed ``ServerOverloadedError``.  Every failure mode is
+injectable through :mod:`repro.faults` and swept by the
+``tests/chaos`` suite.
 """
 
 from .cache import CacheStats, LRUCache
 from .client import ClientReply, QueryClient
-from .protocol import (decode_program, decode_value, encode_program,
-                       encode_value, recv_frame, send_frame)
-from .server import QueryServer
+from .protocol import (MAX_FRAME_BYTES, decode_program, decode_value,
+                       encode_program, encode_value, recv_frame,
+                       send_frame)
+from .server import PROTOCOL_VERSION, QueryServer
 from .service import QueryService, Session
 
 __all__ = [
     "CacheStats", "LRUCache",
     "ClientReply", "QueryClient",
+    "MAX_FRAME_BYTES", "PROTOCOL_VERSION",
     "QueryServer", "QueryService", "Session",
     "decode_program", "decode_value", "encode_program", "encode_value",
     "recv_frame", "send_frame",

@@ -6,7 +6,10 @@ Example::
 
 ``--port 0`` binds an ephemeral port; the bound address is printed on
 stdout (and written to ``--port-file`` when given, which is how the
-CI smoke job discovers it).  The process serves until interrupted.
+CI smoke job discovers it).  The process serves until interrupted:
+``SIGTERM`` drains gracefully (stop accepting, finish in-flight work
+up to ``--drain-timeout`` seconds, answer stragglers with typed
+``ServerDrainingError`` frames), ``SIGINT`` stops immediately.
 """
 
 import argparse
@@ -49,9 +52,26 @@ def main(argv=None):
                         help="default per-query timeout in seconds "
                              "(overdue workers are killed and "
                              "respawned)")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        metavar="S",
+                        help="seconds SIGTERM waits for in-flight "
+                             "requests before forcing shutdown")
+    parser.add_argument("--auth-token", default=None,
+                        help="require this shared secret on every "
+                             "connection (default: open; also "
+                             "settable via REPRO_AUTH_TOKEN)")
+    parser.add_argument("--quota-rps", type=float, default=0.0,
+                        help="per-connection executable requests per "
+                             "second (0 = unlimited)")
+    parser.add_argument("--quota-burst", type=float, default=None,
+                        help="per-connection burst allowance "
+                             "(default: max(1, quota-rps))")
     parser.add_argument("--port-file", default=None,
                         help="write 'host port' here once bound")
     args = parser.parse_args(argv)
+    auth_token = args.auth_token \
+        if args.auth_token is not None \
+        else os.environ.get("REPRO_AUTH_TOKEN") or None
 
     service = QueryService(
         args.db_dir, procs=args.procs,
@@ -59,7 +79,10 @@ def main(argv=None):
         result_cache_size=args.result_cache,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
         default_timeout=args.timeout)
-    server = QueryServer(service, host=args.host, port=args.port)
+    server = QueryServer(service, host=args.host, port=args.port,
+                         auth_token=auth_token,
+                         quota_rps=args.quota_rps,
+                         quota_burst=args.quota_burst)
     server.start()
     host, port = server.address
     print("repro.server: serving %s on %s:%d (procs=%d, "
@@ -73,15 +96,28 @@ def main(argv=None):
         os.replace(args.port_file + ".tmp", args.port_file)
 
     stop = threading.Event()
+    graceful = threading.Event()
 
     def _interrupt(_signum, _frame):
         stop.set()
 
+    def _terminate(_signum, _frame):
+        graceful.set()
+        stop.set()
+
     signal.signal(signal.SIGINT, _interrupt)
-    signal.signal(signal.SIGTERM, _interrupt)
+    signal.signal(signal.SIGTERM, _terminate)
     stop.wait()
-    print("repro.server: shutting down", flush=True)
-    server.stop()
+    if graceful.is_set():
+        print("repro.server: draining (timeout %.1fs)"
+              % args.drain_timeout, flush=True)
+        drained = server.drain(args.drain_timeout)
+        print("repro.server: %s" % ("drained cleanly" if drained
+                                    else "drain timed out"),
+              flush=True)
+    else:
+        print("repro.server: shutting down", flush=True)
+        server.stop()
     service.close()
     return 0
 

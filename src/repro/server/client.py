@@ -1,20 +1,50 @@
 """QueryClient: the library side of the wire protocol.
 
 Connects, reads the ``hello`` (exposing the session's pinned catalog
-generation), then issues synchronous requests.  Every ``result``
-frame is decoded back to the canonical value form and **re-checksummed
+generation, and answering an auth challenge when the server demands
+one), then issues synchronous requests.  Every ``result`` frame is
+decoded back to the canonical value form and **re-checksummed
 locally** against the worker's shipped sha1 — a checksum mismatch
 raises :class:`~repro.errors.ProtocolError`, so a client never
 silently consumes a corrupted or mis-encoded result.  ``error``
 frames re-raise as the matching typed exception from
 :mod:`repro.errors` (:class:`~repro.errors.ServerOverloadedError`,
 :class:`~repro.errors.QueryTimeoutError`, ...).
+
+Resilience (opt-in via ``retries``)
+-----------------------------------
+
+Every request this protocol can express is an idempotent read
+against a pinned catalog generation, so a lost reply is safe to ask
+for again.  With ``retries=N`` the client transparently retries a
+request up to N times when
+
+* the transport dies (EOF, reset, torn frame, socket timeout) —
+  surfaced as :class:`~repro.errors.ConnectionLostError`; the client
+  reconnects (running the hello/auth handshake again; note the new
+  session may pin a **newer generation**) and resends; or
+* the server sheds load — :class:`~repro.errors.ServerOverloadedError`
+  or its quota subclass; the client backs off (exponential + jitter)
+  and resends on the same connection.
+
+Each attempt carries a fresh unique request ``id`` which the server
+echoes; a stale ``result`` frame from an abandoned attempt is
+discarded instead of being mistaken for the current reply.  When the
+budget runs out, :class:`~repro.errors.RetriesExhaustedError` chains
+the final failure.  :class:`~repro.errors.ServerDrainingError` and
+:class:`~repro.errors.AuthError` are deliberate refusals and are
+never retried.
 """
 
+import itertools
+import random
 import socket
+import time
 
 from .. import errors as _errors
-from ..errors import ProtocolError, ServerError
+from ..errors import (AuthError, ConnectionLostError, ProtocolError,
+                      RetriesExhaustedError, ServerDrainingError,
+                      ServerError, ServerOverloadedError)
 from ..monet.multiproc import result_checksum
 from .protocol import (decode_value, encode_program, recv_frame,
                        send_frame)
@@ -70,40 +100,177 @@ class QueryClient:
     The catalog generation pinned at connect time is
     :attr:`generation`; every reply carries the generation it was
     served from, which for this connection never changes — reconnect
-    to observe a writer's bump.
+    (explicitly, or implicitly through a retry after a lost
+    connection) to observe a writer's bump.
+
+    Parameters
+    ----------
+    connect_timeout:
+        Seconds to establish the TCP connection (and, per frame, to
+        complete the hello/auth handshake).
+    verify:
+        Re-checksum every decoded result against the shipped sha1.
+    auth_token:
+        Shared secret presented when the server's hello demands auth.
+    retries:
+        Retry budget per request for lost connections and shed load
+        (``0`` — the default — surfaces the first failure typed).
+    backoff_base / backoff_max:
+        Exponential backoff schedule between retries: attempt ``k``
+        sleeps ``min(backoff_max, backoff_base * 2**(k-1))`` scaled
+        by a uniform jitter in [0.5, 1.0].
+    request_timeout:
+        Socket timeout while awaiting a reply (``None`` = wait
+        forever); an expiry counts as a lost connection, which a
+        retry budget turns into reconnect-and-resend.
     """
 
     def __init__(self, host, port, connect_timeout=10.0,
-                 verify=True):
+                 verify=True, auth_token=None, retries=0,
+                 backoff_base=0.05, backoff_max=2.0,
+                 request_timeout=None):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
         self.verify = verify
-        self._sock = socket.create_connection((host, port),
-                                              timeout=connect_timeout)
-        self._sock.settimeout(None)
-        self._sock.setsockopt(socket.IPPROTO_TCP,
-                              socket.TCP_NODELAY, 1)
-        hello = recv_frame(self._sock)
-        if not isinstance(hello, dict):
-            raise ProtocolError("no hello from server")
-        if hello.get("type") == "error":
-            self._sock.close()
-            raise _error_for(hello)
-        if hello.get("type") != "hello":
-            raise ProtocolError("unexpected first frame %r"
-                                % (hello,))
+        self.auth_token = auth_token
+        self.retries = max(0, int(retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.request_timeout = request_timeout
+        #: times the transport was re-established by the retry layer
+        self.reconnects = 0
+        #: retry attempts spent across all requests
+        self.retries_used = 0
+        self._rng = random.Random()
+        self._ids = itertools.count(1)
+        self._id_prefix = "c%08x" % self._rng.getrandbits(32)
+        self._sock = None
+        self._connect()
+
+    def _connect(self):
+        """(Re-)establish the transport: TCP + hello/auth."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP,
+                            socket.TCP_NODELAY, 1)
+            hello = recv_frame(sock)
+            if not isinstance(hello, dict):
+                raise ProtocolError("no hello from server")
+            if hello.get("type") == "error":
+                raise _error_for(hello)
+            if hello.get("type") != "hello":
+                raise ProtocolError("unexpected first frame %r"
+                                    % (hello,))
+            if hello.get("auth_required"):
+                if self.auth_token is None:
+                    raise AuthError(
+                        "server requires an auth token and none was "
+                        "configured")
+                send_frame(sock, {"type": "auth",
+                                  "token": self.auth_token})
+                hello = recv_frame(sock)
+                if not isinstance(hello, dict):
+                    raise ProtocolError("no hello after auth")
+                if hello.get("type") == "error":
+                    raise _error_for(hello)
+                if hello.get("type") != "hello":
+                    raise ProtocolError(
+                        "unexpected post-auth frame %r" % (hello,))
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(self.request_timeout)
+        self._sock = sock
         #: wire protocol version the server speaks
         self.protocol = hello.get("protocol")
         #: catalog generation this session is pinned to
         self.generation = hello.get("generation")
 
     # ------------------------------------------------------------------
+    def _next_id(self):
+        return "%s-%d" % (self._id_prefix, next(self._ids))
+
+    def _recv_matching(self, rid):
+        """The reply for request ``rid``.
+
+        Transport failures (EOF, reset, torn frame, timeout) raise
+        :class:`~repro.errors.ConnectionLostError`.  ``error`` frames
+        raise typed regardless of id — an id-less error (e.g. the
+        server's final drain frame) answers whatever is pending.
+        Stale ``result`` frames from an abandoned earlier attempt on
+        this connection are discarded.
+        """
+        while True:
+            try:
+                response = recv_frame(self._sock)
+            except socket.timeout as exc:
+                raise ConnectionLostError(
+                    "timed out after %.3gs awaiting the reply"
+                    % self.request_timeout) from exc
+            except OSError as exc:
+                raise ConnectionLostError(
+                    "transport failed awaiting the reply: %s"
+                    % exc) from exc
+            except ProtocolError as exc:
+                raise ConnectionLostError(
+                    "reply could not be read: %s" % exc) from exc
+            if response is None:
+                raise ConnectionLostError(
+                    "server closed the connection")
+            if response.get("type") == "error":
+                raise _error_for(response)
+            if "id" in response and response["id"] != rid:
+                continue            # stale reply of an abandoned try
+            return response
+
+    def _request_once(self, request):
+        rid = self._next_id()
+        stamped = dict(request)
+        stamped["id"] = rid
+        try:
+            send_frame(self._sock, stamped)
+        except OSError as exc:
+            raise ConnectionLostError(
+                "transport failed sending the request: %s"
+                % exc) from exc
+        return self._recv_matching(rid)
+
+    def _backoff(self, attempt):
+        pause = min(self.backoff_max,
+                    self.backoff_base * (2.0 ** (attempt - 1)))
+        if pause > 0.0:
+            time.sleep(pause * (0.5 + 0.5 * self._rng.random()))
+
     def _request(self, request):
-        send_frame(self._sock, request)
-        response = recv_frame(self._sock)
-        if response is None:
-            raise ProtocolError("server closed the connection")
-        if response.get("type") == "error":
-            raise _error_for(response)
-        return response
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(request)
+            except (ConnectionLostError,
+                    ServerOverloadedError) as exc:
+                # never retry a deliberate refusal to serve
+                if isinstance(exc, ServerDrainingError):
+                    raise
+                if attempts >= self.retries:
+                    if self.retries > 0:
+                        raise RetriesExhaustedError(
+                            "request failed after %d attempts: %s"
+                            % (attempts + 1, exc),
+                            attempts=attempts + 1) from exc
+                    raise
+                attempts += 1
+                self.retries_used += 1
+                self._backoff(attempts)
+                if isinstance(exc, ConnectionLostError):
+                    try:
+                        self._sock.close()
+                    except OSError:
+                        pass
+                    # the fresh session may pin a newer generation
+                    self._connect()
+                    self.reconnects += 1
 
     def _result(self, request):
         response = self._request(request)

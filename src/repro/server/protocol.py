@@ -35,13 +35,22 @@ import struct
 
 import numpy as np
 
-from ..errors import ProtocolError
+from .. import faults
+from ..errors import FrameTooLargeError, ProtocolError
 from ..monet.mil import MILProgram, MILStmt, Var
 
 #: Refuse frames above this many payload bytes (2**28 = 256 MiB).
 MAX_FRAME_BYTES = 1 << 28
 
 _LENGTH = struct.Struct(">I")
+
+#: Chaos injection points of the wire (see :mod:`repro.faults`):
+#: ``send.reset`` raises/crashes before any bytes go out (connection
+#: reset), ``send.torn`` (``tear`` action) writes the length prefix
+#: plus a fraction of the body and then concludes (a frame torn
+#: mid-send), ``recv.delay`` stalls the receive path (slow-loris).
+faults.declare("protocol.send.reset", "protocol.send.torn",
+               "protocol.recv.delay")
 
 #: Marker keys reserved by the codec; a plain dict containing any of
 #: them (or non-string keys) is encoded in the explicit pair-list form.
@@ -59,6 +68,12 @@ def send_frame(sock, obj):
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError("refusing to send %d-byte frame (max %d)"
                             % (len(body), MAX_FRAME_BYTES))
+    faults.fire("protocol.send.reset")
+    spec = faults.fire("protocol.send.torn")
+    if spec is not None:
+        sock.sendall(_LENGTH.pack(len(body))
+                     + body[:int(len(body) * spec.fraction)])
+        spec.conclude()
     sock.sendall(_LENGTH.pack(len(body)) + body)
 
 
@@ -75,14 +90,22 @@ def _recv_exact(sock, nbytes):
 
 
 def recv_frame(sock):
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    An announced length above :data:`MAX_FRAME_BYTES` raises the typed
+    :class:`~repro.errors.FrameTooLargeError` (a ProtocolError
+    subclass) before any allocation; the server answers it with an
+    error frame before hanging up instead of silently dropping the
+    connection.
+    """
+    faults.fire("protocol.recv.delay")
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise ProtocolError("refusing %d-byte frame (max %d)"
-                            % (length, MAX_FRAME_BYTES))
+        raise FrameTooLargeError("refusing %d-byte frame (max %d)"
+                                 % (length, MAX_FRAME_BYTES))
     body = _recv_exact(sock, length)
     if body is None:
         raise ProtocolError("connection closed mid-frame "

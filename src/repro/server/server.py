@@ -21,17 +21,80 @@ Failures never tear the connection: any :class:`~repro.errors.
 ReproError` becomes an ``error`` frame ``{"error": <class name>,
 "message": ...}`` the client re-raises as the matching typed
 exception.  Only protocol-level corruption (undecodable frame) closes
-the socket.
+the socket — and even an oversized frame is answered with a typed
+:class:`~repro.errors.FrameTooLargeError` frame before the hang-up.
+
+Hardening knobs (all off by default):
+
+* ``auth_token`` — the hello announces ``auth_required`` and the
+  first client frame must be ``{"type": "auth", "token": ...}``;
+  a wrong or missing token earns an :class:`~repro.errors.AuthError`
+  frame and a closed socket, before any session (or worker pool)
+  is allocated;
+* ``quota_rps``/``quota_burst`` — a per-connection token bucket over
+  executable requests; an exhausted bucket answers
+  :class:`~repro.errors.QuotaExceededError` but keeps the connection;
+* :meth:`QueryServer.drain` — graceful shutdown: stop accepting,
+  finish in-flight requests up to a deadline, answer anything newly
+  submitted (and any straggler still running at the deadline) with a
+  typed :class:`~repro.errors.ServerDrainingError` frame.
 """
 
+import hmac
+import os
 import socket
 import threading
+import time
+import weakref
 
-from ..errors import ProtocolError, ReproError
+from .. import faults
+from ..errors import (AuthError, FrameTooLargeError, InjectedFaultError,
+                      ProtocolError, QuotaExceededError, ReproError,
+                      ServerDrainingError)
 from .protocol import recv_frame, send_frame
 
 #: Bump when the frame/request shape changes incompatibly.
 PROTOCOL_VERSION = 1
+
+#: Seconds an unauthenticated connection gets to present its token
+#: (bounds the slow-loris surface of the auth handshake).
+AUTH_TIMEOUT = 10.0
+
+#: Chaos injection points of the serving loop (see :mod:`repro.
+#: faults`): ``handle.delay`` stalls a request before execution
+#: (drives drain/straggler and client-timeout paths), ``reply.drop``
+#: swallows one reply (the connection stays up, the client never
+#: hears back), ``reply.reset`` hangs up instead of replying.
+faults.declare("server.handle.delay", "server.reply.drop",
+               "server.reply.reset")
+
+#: Request types that execute work (and are subject to quotas and
+#: draining); ``ping``/``stats``/``close`` stay exempt so liveness
+#: checks keep answering under load and during drain.
+EXECUTABLE_TYPES = frozenset(("moa", "tpcd", "mil"))
+
+
+class _TokenBucket:
+    """Per-connection request-rate limiter (quota_rps > 0)."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate, burst):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._stamp = time.monotonic()
+
+    def take(self):
+        now = time.monotonic()
+        self._tokens = min(
+            self.burst,
+            self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        return True
 
 
 class QueryServer:
@@ -42,28 +105,62 @@ class QueryServer:
     service (pools, caches, admission) is injected and may outlive it.
     """
 
-    def __init__(self, service, host="127.0.0.1", port=0, backlog=64):
+    def __init__(self, service, host="127.0.0.1", port=0, backlog=64,
+                 auth_token=None, quota_rps=0.0, quota_burst=None):
         self.service = service
         self.host = host
         self.port = port
         self.backlog = backlog
+        #: shared secret every connection must present (None = open)
+        self.auth_token = auth_token
+        #: sustained executable requests/second per connection
+        #: (0 = unlimited); burst defaults to max(1, quota_rps)
+        self.quota_rps = float(quota_rps or 0.0)
+        self.quota_burst = quota_burst
         self._sock = None
+        self._address = None
+        self._fork_hook_registered = False
         self._accept_thread = None
         self._conns = []             # [(thread, socket)] still live
         self._conn_lock = threading.Lock()
         self._running = False
+        self._draining = False
+        #: executable requests currently inside _handle (drain waits
+        #: on this falling to zero)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     # ------------------------------------------------------------------
     @property
     def address(self):
-        """``(host, port)`` actually bound (after :meth:`start`)."""
-        return self._sock.getsockname()[:2]
+        """``(host, port)`` actually bound (after :meth:`start`);
+        stays readable after the listener closes (stop/drain)."""
+        return self._address
 
     def start(self):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((self.host, self.port))
+        self._address = self._sock.getsockname()[:2]
         self._sock.listen(self.backlog)
+        # fork-based worker pools inherit the listening fd; without
+        # this, the kernel keeps completing handshakes on the port
+        # after stop()/drain() for as long as any worker lives (the
+        # new connections just never get accepted).  Close the
+        # inherited copy in every forked child.
+        if not self._fork_hook_registered:
+            self._fork_hook_registered = True
+            ref = weakref.ref(self)
+
+            def _close_inherited_listener():
+                server = ref()
+                if server is not None and server._sock is not None:
+                    try:
+                        server._sock.close()
+                    except OSError:
+                        pass
+
+            os.register_at_fork(after_in_child=_close_inherited_listener)
         self._running = True
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="serve-accept", daemon=True)
@@ -85,19 +182,60 @@ class QueryServer:
                 self._conns.append((thread, conn))
             thread.start()
 
+    def _send_error(self, conn, exc, request=None):
+        """Best-effort typed ``error`` frame for ``exc``."""
+        error = {"type": "error", "error": type(exc).__name__,
+                 "message": str(exc)}
+        if request is not None and "id" in request:
+            error["id"] = request["id"]
+        try:
+            send_frame(conn, error)
+        except OSError:
+            pass
+
+    def _authenticate(self, conn):
+        """Run the shared-secret handshake; True when authenticated.
+
+        Runs *before* any session (hence worker pool) is allocated,
+        so unauthenticated peers cannot spend server resources, and
+        under a socket deadline so they cannot park the thread.
+        """
+        try:
+            conn.settimeout(AUTH_TIMEOUT)
+            send_frame(conn, {"type": "hello",
+                              "protocol": PROTOCOL_VERSION,
+                              "auth_required": True})
+            frame = recv_frame(conn)
+        except (OSError, ProtocolError):
+            conn.close()
+            return False
+        token = frame.get("token") if isinstance(frame, dict) else None
+        if not (isinstance(frame, dict) and frame.get("type") == "auth"
+                and isinstance(token, str)
+                and hmac.compare_digest(token, self.auth_token)):
+            self.service.count("auth_failures")
+            self._send_error(conn, AuthError("bad or missing token"))
+            conn.close()
+            return False
+        conn.settimeout(None)
+        return True
+
     def _serve_connection(self, conn):
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.auth_token is not None and not self._authenticate(conn):
+            return
         try:
             session = self.service.session()
         except ReproError as exc:
-            try:
-                send_frame(conn, {"type": "error",
-                                  "error": type(exc).__name__,
-                                  "message": str(exc)})
-            except OSError:
-                pass
+            self._send_error(conn, exc)
             conn.close()
             return
+        bucket = None
+        if self.quota_rps > 0.0:
+            burst = self.quota_burst
+            if burst is None:
+                burst = max(1.0, self.quota_rps)
+            bucket = _TokenBucket(self.quota_rps, burst)
         try:
             send_frame(conn, {"type": "hello",
                               "protocol": PROTOCOL_VERSION,
@@ -106,6 +244,12 @@ class QueryServer:
             while self._running:
                 try:
                     request = recv_frame(conn)
+                except FrameTooLargeError as exc:
+                    # answer oversize with a typed frame, then hang
+                    # up: the offending frame's bytes are unread, so
+                    # the stream cannot be resynchronised
+                    self._send_error(conn, exc)
+                    break
                 except ProtocolError:
                     break                    # corrupt frame: hang up
                 if request is None or not isinstance(request, dict):
@@ -113,20 +257,24 @@ class QueryServer:
                 rtype = request.get("type")
                 if rtype == "close":
                     break
-                response = self._handle(session, request)
+                response = self._respond(session, request, rtype,
+                                         bucket)
                 if "id" in request:
                     response["id"] = request["id"]
+                try:
+                    faults.fire("server.reply.drop")
+                except InjectedFaultError:
+                    continue          # reply swallowed: client retries
+                try:
+                    faults.fire("server.reply.reset")
+                except InjectedFaultError:
+                    break             # connection reset before reply
                 try:
                     send_frame(conn, response)
                 except ProtocolError as exc:
                     # an unshippable (oversized) result still answers
                     # with a typed error frame — never a torn socket
-                    error = {"type": "error",
-                             "error": type(exc).__name__,
-                             "message": str(exc)}
-                    if "id" in request:
-                        error["id"] = request["id"]
-                    send_frame(conn, error)
+                    self._send_error(conn, exc, request)
         except OSError:
             pass                             # peer vanished mid-frame
         finally:
@@ -137,6 +285,32 @@ class QueryServer:
                 pass
             conn.close()
 
+    def _respond(self, session, request, rtype, bucket):
+        """Policy wrapper around :meth:`_handle`: drain + quota."""
+        if rtype in EXECUTABLE_TYPES:
+            if self._draining:
+                exc = ServerDrainingError(
+                    "server is draining; not accepting new work")
+                self.service.count("drain_rejections")
+                return {"type": "error", "error": type(exc).__name__,
+                        "message": str(exc)}
+            if bucket is not None and not bucket.take():
+                exc = QuotaExceededError(
+                    "per-connection quota of %.3g requests/s exceeded"
+                    % self.quota_rps)
+                self.service.count("quota_rejections")
+                return {"type": "error", "error": type(exc).__name__,
+                        "message": str(exc)}
+            with self._inflight_cv:
+                self._inflight += 1
+            try:
+                return self._handle(session, request)
+            finally:
+                with self._inflight_cv:
+                    self._inflight -= 1
+                    self._inflight_cv.notify_all()
+        return self._handle(session, request)
+
     def _handle(self, session, request):
         rtype = request.get("type")
         if rtype == "ping":
@@ -144,6 +318,7 @@ class QueryServer:
         if rtype == "stats":
             return {"type": "stats", "stats": self.service.stats()}
         try:
+            faults.fire("server.handle.delay")
             return session.execute(request)
         except Exception as exc:        # noqa: BLE001 — error frame
             # a failing request must answer, never tear the
@@ -155,14 +330,63 @@ class QueryServer:
                     "message": str(exc)}
 
     # ------------------------------------------------------------------
-    def stop(self):
-        """Stop accepting, close every connection, join the threads."""
-        self._running = False
+    def drain(self, timeout=5.0):
+        """Graceful shutdown: finish in-flight work, then stop.
+
+        Closes the listener (no new connections), answers newly
+        submitted executable requests with typed
+        :class:`~repro.errors.ServerDrainingError` frames, waits up
+        to ``timeout`` seconds for requests already executing to
+        finish, then sends a best-effort id-less drain-error frame to
+        every connection still open (a client parked on a reply sees
+        the typed error, not a silent hang-up) and calls
+        :meth:`stop`.  Returns True when the server drained fully
+        within the deadline.
+        """
+        self._draining = True
+        self._close_listener()
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cv.wait(remaining)
+            drained = self._inflight == 0
+        with self._conn_lock:
+            conns = [conn for thread, conn in self._conns
+                     if thread.is_alive()]
+        exc = ServerDrainingError("server shut down while draining")
+        for conn in conns:
+            # stragglers (and idle clients) get a final typed frame;
+            # id-less, so a pending request treats it as its answer
+            self._send_error(conn, exc)
+        self.stop()
+        return drained
+
+    def _close_listener(self):
+        """Tear the listener down immediately.
+
+        ``close()`` alone is not enough: the accept thread is blocked
+        inside ``accept()``, and on Linux that in-flight syscall keeps
+        the socket alive — the port stays in LISTEN and the *next*
+        connect still succeeds.  ``shutdown()`` first wakes the
+        blocked ``accept()`` and removes the LISTEN state at once.
+        """
         if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._sock.close()
             except OSError:
                 pass
+
+    def stop(self):
+        """Stop accepting, close every connection, join the threads."""
+        self._running = False
+        self._close_listener()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
         with self._conn_lock:

@@ -36,7 +36,8 @@ import time
 from collections import deque
 
 from ..bench.harness import percentiles
-from ..errors import ProtocolError, ServerOverloadedError
+from ..errors import (ProtocolError, ServerOverloadedError,
+                      WorkerCrashedError)
 from ..monet.buffer import BufferStats
 from ..monet.multiproc import MultiprocExecutor
 from ..monet.storage import catalog_generation
@@ -76,21 +77,32 @@ class QueryService:
     default_timeout:
         Per-query timeout in seconds applied when a request carries
         none (``None`` = unbounded).
+    crash_retries:
+        How many times a request whose worker crashed mid-query is
+        transparently resubmitted (to a freshly respawned worker)
+        before the service degrades it to a typed
+        :class:`~repro.errors.ServerOverloadedError`.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan` shipped to every worker
+        pool (chaos testing only; ``None`` = off).
     """
 
     def __init__(self, db_dir, procs=2, plan_cache_size=64,
                  result_cache_size=0, max_inflight=8, max_queue=32,
                  default_timeout=None, lock_timeout=None,
-                 start_method=None, page_size=4096):
+                 start_method=None, page_size=4096, crash_retries=1,
+                 fault_plan=None):
         self.db_dir = db_dir
         self.procs = max(1, int(procs))
         self.plan_cache_size = int(plan_cache_size)
         self.max_inflight = max(1, int(max_inflight))
         self.max_queue = max(0, int(max_queue))
         self.default_timeout = default_timeout
+        self.crash_retries = max(0, int(crash_retries))
         self._lock_timeout = lock_timeout
         self._start_method = start_method
         self._page_size = page_size
+        self._fault_plan = fault_plan
         self.result_cache = LRUCache(result_cache_size)
 
         self._pool_lock = threading.Lock()
@@ -109,7 +121,9 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._counters = {"requests": 0, "results": 0, "errors": 0,
                           "timeouts": 0, "overloads": 0,
-                          "result_cache_hits": 0}
+                          "result_cache_hits": 0, "crash_retries": 0,
+                          "quota_rejections": 0, "auth_failures": 0,
+                          "drain_rejections": 0}
         self._latencies = deque(maxlen=LATENCY_WINDOW)
         self._buffer = BufferStats()
         #: (generation, pid) -> latest cumulative plan-cache snapshot
@@ -132,7 +146,8 @@ class QueryService:
             page_size=self._page_size,
             lock_timeout=self._lock_timeout,
             task_modules=("repro.server.tasks",),
-            worker_options={"plan_cache_size": self.plan_cache_size})
+            worker_options={"plan_cache_size": self.plan_cache_size},
+            fault_plan=self._fault_plan)
 
     def session(self):
         """Open a :class:`Session` pinned to the generation on disk."""
@@ -277,8 +292,7 @@ class QueryService:
             return response
         self._admit(timeout)
         try:
-            outcome = session.entry.executor.submit(
-                task, timeout=timeout).result()
+            outcome = self._submit_with_retry(session, task, timeout)
         finally:
             self._leave()
         extra = outcome.extra or {}
@@ -305,12 +319,45 @@ class QueryService:
         self._record_latency(started)
         return response
 
+    def _submit_with_retry(self, session, task, timeout):
+        """Submit, transparently resubmitting over worker crashes.
+
+        Every request here is an idempotent read against a pinned
+        generation, so resubmitting a crashed one (the executor has
+        already respawned the worker) is safe.  Once the retry budget
+        is spent the request degrades to a typed
+        :class:`~repro.errors.ServerOverloadedError` — the pool is
+        respawning faster than it can serve.
+        """
+        attempts = 0
+        while True:
+            try:
+                return session.entry.executor.submit(
+                    task, timeout=timeout).result()
+            except WorkerCrashedError as exc:
+                if attempts >= self.crash_retries:
+                    if self.crash_retries == 0:
+                        raise
+                    self._count("overloads")
+                    raise ServerOverloadedError(
+                        "worker pool is respawning after repeated "
+                        "crashes (%d resubmits): %s"
+                        % (attempts, exc)) from exc
+                attempts += 1
+                self._count("crash_retries")
+
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
     def _count(self, name, delta=1):
         with self._stats_lock:
-            self._counters[name] += delta
+            self._counters[name] = \
+                self._counters.get(name, 0) + delta
+
+    def count(self, name, delta=1):
+        """Bump a named counter (the server's policy layer uses this
+        for quota/auth/drain rejections)."""
+        self._count(name, delta)
 
     def count_error(self, exc):
         """Classify a failed request for the counters."""

@@ -26,7 +26,8 @@ from ..moa.mapping import FlattenedDatabase, create_datavectors, \
     reorder_on_tail
 from ..moa.session import MOADatabase
 from ..monet.kernel import MonetKernel
-from ..monet.storage import as_backend
+from ..monet.storage import (as_backend, generation_prefix,
+                             next_generation)
 from .schema import tpcd_schema
 
 
@@ -137,8 +138,12 @@ def save_tpcd(db, db_dir, dataset=None, meta=None):
     with backend.lock().exclusive():
         extra = None
         if dataset is not None:
-            extra = {"rowstore": save_rowstore_tables(backend,
-                                                      dataset.tables)}
+            # name the row-store columns under the generation the
+            # kernel save (below, same exclusive lock) will assign, so
+            # they are crash-isolated like every other heap file
+            prefix = generation_prefix(next_generation(backend))
+            extra = {"rowstore": save_rowstore_tables(
+                backend, dataset.tables, prefix=prefix)}
         else:
             # a dataset-less re-save must not destroy an already
             # persisted baseline: carry the section forward so its

@@ -525,16 +525,21 @@ class RowStore:
 # ----------------------------------------------------------------------
 # persistence (ROADMAP "Row-store baseline parity")
 # ----------------------------------------------------------------------
-def save_rowstore_tables(target, tables):
+def save_rowstore_tables(target, tables, prefix=""):
     """Write the n-ary base tables through a HeapStorage backend.
 
-    One raw little-endian file per column (``_rowstore.<table>.
-    <column>.col``); object-dtype string columns are stored as
+    One raw little-endian file per column (``[<prefix>]_rowstore.
+    <table>.<column>.col``); object-dtype string columns are stored as
     fixed-width unicode and flagged so :func:`open_rowstore` restores
-    the original dtype.  Returns the manifest ``rowstore`` section —
-    pass it to ``save_kernel(..., extra={"rowstore": section})`` so
-    the files join the manifest's prune keep-set and the section
-    survives re-saves atomically with the rest of the catalog.
+    the original dtype.  ``prefix`` should be the upcoming save's
+    :func:`~repro.monet.storage.generation_prefix` (the caller holds
+    the exclusive lock), so these files are generation-scoped exactly
+    like the kernel heaps and a crashed save never overwrites the
+    previous generation's columns.  Returns the manifest ``rowstore``
+    section — pass it to ``save_kernel(..., extra={"rowstore":
+    section})`` so the files join the manifest's prune keep-set and
+    the section survives re-saves atomically with the rest of the
+    catalog.
     """
     backend = as_backend(target)
     section = {"tables": {}}
@@ -546,8 +551,8 @@ def save_rowstore_tables(target, tables):
             if values.dtype == object:
                 values = values.astype("U")
                 spec["object"] = True
-            file_name = "%s%s.%s.col" % (ROWSTORE_PREFIX, table_name,
-                                         column_name)
+            file_name = "%s%s%s.%s.col" % (prefix, ROWSTORE_PREFIX,
+                                           table_name, column_name)
             backend.write_array(file_name, values)
             stored = values.dtype.str
             if stored.startswith(">"):

@@ -1,0 +1,20 @@
+"""Chaos fixtures: a saved tiny TPC-D catalog + the serial oracle."""
+
+import pytest
+
+from repro.monet.multiproc import result_checksum, ship_value
+from repro.tpcd import QUERIES, load_tpcd, open_tpcd
+
+
+@pytest.fixture(scope="module")
+def db_dir(tiny_tpcd, tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaosdb") / "db"
+    load_tpcd(tiny_tpcd, db_dir=path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def serial_checksums(db_dir):
+    db, _report = open_tpcd(db_dir)
+    return {number: result_checksum(ship_value(QUERIES[number].run(db)))
+            for number in sorted(QUERIES)}

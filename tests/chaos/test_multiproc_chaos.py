@@ -1,0 +1,118 @@
+"""Worker-fault sweep: kill/fail/stall workers at every task point.
+
+The dispatcher's contract under injected worker faults: a fault may
+cost the in-flight task a **typed** error (``WorkerCrashedError``,
+``InjectedFaultError``, ``QueryTimeoutError``) and the worker its
+process (the pool respawns it), but every result that does come back
+is checksum-identical to serial execution, and the pool keeps
+serving afterwards.
+
+Fault plans ship to workers pickled with their hit counters reset,
+so a ``times=1`` spec fires once *per worker process* — a respawned
+worker re-arms.  The tests use ``skip`` to carve out deterministic
+schedules (e.g. crash the second task of each worker, so a resubmit
+landing on a fresh worker survives).
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import (InjectedFaultError, QueryTimeoutError,
+                          WorkerCrashedError)
+from repro.monet.multiproc import MultiprocExecutor
+
+from chaos_utils import HAVE_FORK
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="worker pools fork; spawn is too slow")
+
+MULTIPROC_POINTS = ("multiproc.task.start", "multiproc.task.mid",
+                    "multiproc.task.post_result")
+
+
+def test_sweep_covers_every_declared_multiproc_point():
+    assert tuple(faults.registered_points("multiproc.")) == \
+        tuple(sorted(MULTIPROC_POINTS))
+
+
+@pytest.mark.parametrize("point",
+                         ["multiproc.task.start",
+                          "multiproc.task.mid"])
+def test_worker_crash_at_point_is_typed_and_recoverable(
+        db_dir, serial_checksums, point):
+    plan = faults.FaultPlan().arm(point, action="crash", skip=1)
+    with MultiprocExecutor(db_dir, procs=1, fault_plan=plan) as pool:
+        first = pool.run_queries((6,))[6]          # hit 1: skipped
+        assert first.checksum == serial_checksums[6]
+        with pytest.raises(WorkerCrashedError):    # hit 2: crash
+            pool.submit(("query", "q2", 12, None)).result(timeout=120)
+        assert pool.crashes == 1
+        # the respawned worker re-arms with skip=1, so the resubmit
+        # (its hit 1) goes through — and matches the serial oracle
+        retry = pool.run_queries((12,))[12]
+        assert retry.checksum == serial_checksums[12]
+        assert pool.respawns >= 1
+
+
+def test_worker_crash_after_reply_never_loses_the_result(
+        db_dir, serial_checksums):
+    # post_result fires after conn.send: the reply to *this* task is
+    # already on the pipe when the worker dies, so the first submit
+    # always answers.  A follow-up task can race into the dying
+    # worker's buffer before the parent notices the death — at-most-
+    # once semantics make that a typed WorkerCrashedError, never a
+    # wrong answer or a hang — and a resubmit recovers.
+    plan = faults.FaultPlan().arm("multiproc.task.post_result",
+                                  action="crash", times=None)
+    with MultiprocExecutor(db_dir, procs=1, fault_plan=plan) as pool:
+        first = pool.submit(("query", "q1", 1, None)).result(
+            timeout=120)
+        assert first.checksum == serial_checksums[1]
+        pids = {first.pid}
+        for number in (6, 12):
+            for attempt in range(10):
+                try:
+                    outcome = pool.submit(
+                        ("query", "q%d.%d" % (number, attempt),
+                         number, None)).result(timeout=120)
+                except WorkerCrashedError:
+                    continue           # raced a dying worker: retry
+                break
+            assert outcome.checksum == serial_checksums[number]
+            pids.add(outcome.pid)
+        # every answered task came from a fresh worker (its
+        # predecessor died right after replying)
+        assert len(pids) == 3
+        assert pool.respawns >= 2
+
+
+def test_worker_raise_at_point_is_typed_and_worker_survives(
+        db_dir, serial_checksums):
+    plan = faults.FaultPlan().arm("multiproc.task.start",
+                                  action="raise", skip=1)
+    with MultiprocExecutor(db_dir, procs=1, fault_plan=plan) as pool:
+        pool.run_queries((6,))                     # hit 1: skipped
+        [pid] = pool.worker_pids()
+        with pytest.raises(InjectedFaultError):    # hit 2: raises
+            pool.submit(("query", "qf", 12, None)).result(timeout=120)
+        # a raised fault is an ordinary failing task: same worker,
+        # no crash, no respawn
+        assert pool.worker_pids() == [pid]
+        assert pool.crashes == 0
+        retry = pool.run_queries((12,))[12]
+        assert retry.checksum == serial_checksums[12]
+
+
+def test_delayed_reply_past_timeout_is_a_typed_timeout(
+        db_dir, serial_checksums):
+    plan = faults.FaultPlan().arm("multiproc.task.mid",
+                                  action="delay", delay_s=1.5)
+    with MultiprocExecutor(db_dir, procs=1, fault_plan=plan) as pool:
+        with pytest.raises(QueryTimeoutError):
+            pool.submit(("query", "qslow", 6, None),
+                        timeout=0.05).result(timeout=120)
+        assert pool.timeouts == 1
+        # the overdue worker was killed; its replacement re-arms the
+        # 1.5s delay but an unbounded resubmit just waits it out
+        outcome = pool.run_queries((6,))[6]
+        assert outcome.checksum == serial_checksums[6]

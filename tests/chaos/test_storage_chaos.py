@@ -1,0 +1,124 @@
+"""Crash-safe persistence sweep: kill or fail a save at every point.
+
+The save protocol (generation-prefixed heap files, write-temp +
+fsync + rename, one directory fsync after the manifest rename, a
+recovery sweep on the next locked open) promises: a save killed at
+**any** injection point leaves the catalog fully readable — at the
+previous generation when the manifest rename had not happened yet,
+at the new one when it had — with zero staging litter after the next
+reopen and every query still checksum-identical to the serial
+reference.
+
+Each ``crash`` case forks a child that installs a one-shot fault
+plan and re-saves the catalog; the child must die with
+``faults.CRASH_EXIT_CODE`` (the fault fired) and the parent then
+verifies the differential contract.  The ``raise`` cases run
+in-process: the save fails typed, the catalog stays intact, and a
+subsequent clean save succeeds.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import faults
+from repro.monet.storage import catalog_generation
+from repro.tpcd import open_tpcd
+from repro.tpcd.loader import save_tpcd
+
+from chaos_utils import HAVE_FORK, assert_catalog_intact
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FORK, reason="storage chaos forks crashing children")
+
+#: Every declared save-path injection point (importing repro.monet.
+#: storage registers them).  The sweep below parametrises over this
+#: list, so a newly instrumented point fails the suite until covered.
+STORAGE_POINTS = (
+    "storage.save.begin",
+    "storage.save.heaps_written",
+    "storage.save.manifest_written",
+    "storage.write_array.torn",
+    "storage.write_array.staged",
+    "storage.write_array.synced",
+    "storage.write_array.renamed",
+    "storage.manifest.torn",
+    "storage.manifest.staged",
+    "storage.manifest.synced",
+    "storage.manifest.renamed",
+)
+
+
+def test_sweep_covers_every_declared_storage_point():
+    assert tuple(faults.registered_points("storage.")) == \
+        tuple(sorted(STORAGE_POINTS))
+
+
+def _plan_for(point, conclusion):
+    plan = faults.FaultPlan()
+    if point.endswith(".torn"):
+        plan.arm(point, action="tear", fraction=0.5, then=conclusion)
+    else:
+        plan.arm(point, action=conclusion)
+    return plan
+
+
+def _crashing_resave(db_dir, point):
+    """Child body: arm ``point`` to crash, then re-save the catalog."""
+    faults.set_plan(_plan_for(point, "crash"))
+    db, _report = open_tpcd(db_dir)
+    save_tpcd(db, db_dir)
+    os._exit(0)          # the fault did not fire: the parent fails
+
+
+@pytest.mark.parametrize("point", STORAGE_POINTS)
+def test_save_killed_at_point_leaves_catalog_readable(
+        db_dir, serial_checksums, point):
+    before = catalog_generation(db_dir)
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_crashing_resave, args=(db_dir, point))
+    child.start()
+    child.join(timeout=120)
+    assert child.exitcode == faults.CRASH_EXIT_CODE, \
+        "expected the injected crash at %s, child exited %r" \
+        % (point, child.exitcode)
+    after = assert_catalog_intact(db_dir, serial_checksums)
+    # pre-rename kills leave the previous generation; the two
+    # post-rename points (save.manifest_written fires after the
+    # manifest landed, manifest.renamed between rename and directory
+    # sync) may legitimately surface the new one
+    if point in ("storage.save.manifest_written",
+                 "storage.manifest.renamed"):
+        assert after in (before, before + 1)
+    else:
+        assert after == before, \
+            "%s killed the save before the manifest rename, yet the " \
+            "generation moved %d -> %d" % (point, before, after)
+
+
+@pytest.mark.parametrize("point", STORAGE_POINTS)
+def test_save_failing_typed_at_point_is_recoverable(
+        db_dir, serial_checksums, point):
+    from repro.errors import InjectedFaultError
+
+    before = catalog_generation(db_dir)
+    db, _report = open_tpcd(db_dir)
+    with faults.use(_plan_for(point, "raise")):
+        if point in ("storage.save.manifest_written",
+                     "storage.manifest.renamed"):
+            # these fire after the manifest rename: the save has
+            # already succeeded when the error surfaces
+            with pytest.raises(InjectedFaultError):
+                save_tpcd(db, db_dir)
+            assert catalog_generation(db_dir) == before + 1
+        else:
+            with pytest.raises(InjectedFaultError):
+                save_tpcd(db, db_dir)
+            assert catalog_generation(db_dir) == before
+    assert_catalog_intact(db_dir, serial_checksums)
+    # with the plan gone the next save goes through cleanly
+    db, _report = open_tpcd(db_dir)
+    save_tpcd(db, db_dir)
+    assert catalog_generation(db_dir) > before
+    assert_catalog_intact(db_dir, serial_checksums)

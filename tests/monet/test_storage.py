@@ -210,10 +210,17 @@ def test_unsupported_version_raises_catalog_error(tmp_path):
         MonetKernel.open(tmp_path / "db")
 
 
+def _heap_file_of(db_dir, bat_name):
+    # heap file names are generation-scoped; the manifest is the one
+    # authority on them
+    manifest = json.loads((db_dir / "catalog.json").read_text())
+    return db_dir / manifest["bats"][bat_name]["tail"]["file"]
+
+
 def test_truncated_heap_file_raises_heap_error(tmp_path):
     kernel = build_kernel()
     kernel.save(tmp_path / "db")
-    victim = tmp_path / "db" / "T_price.tail.col"
+    victim = _heap_file_of(tmp_path / "db", "T_price")
     data = victim.read_bytes()
     victim.write_bytes(data[:-8])
     with pytest.raises(HeapError):
@@ -223,7 +230,7 @@ def test_truncated_heap_file_raises_heap_error(tmp_path):
 def test_missing_heap_file_raises_heap_error(tmp_path):
     kernel = build_kernel()
     kernel.save(tmp_path / "db")
-    os.unlink(tmp_path / "db" / "T_size.tail.col")
+    os.unlink(_heap_file_of(tmp_path / "db", "T_size"))
     with pytest.raises(HeapError):
         MonetKernel.open(tmp_path / "db")
 

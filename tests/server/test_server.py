@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.errors import (ProtocolError, QueryTimeoutError,
                           ServerError, ServerOverloadedError)
 from repro.monet import MILProgram, MonetKernel, Var
@@ -364,3 +365,59 @@ def test_clients_keep_serving_through_live_rewrites(rewritable_db,
     service.close()
     assert not failures, failures[:2]
     assert len(generations_seen) >= 2, generations_seen
+
+
+def test_caches_stay_correct_while_workers_crash(rewritable_db,
+                                                 serial_checksums):
+    """The live-rewrite stress again, now with workers being killed
+    under it: each worker process crashes mid-dispatch on its fourth
+    task.  The service resubmits once (the respawned worker's shipped
+    plan re-arms with the same skip, so the retry lands inside the
+    fresh worker's grace window) and the plan/result caches must never
+    convert a crash into a wrong or cross-generation answer — every
+    reply that reaches a client still checksums against its session's
+    pinned snapshot."""
+    plan = faults.FaultPlan().arm("multiproc.task.start",
+                                  action="crash", skip=3, times=1)
+    service = QueryService(rewritable_db, procs=1, crash_retries=1,
+                           result_cache_size=16, fault_plan=plan)
+    failures = []
+    stop = threading.Event()
+
+    with QueryServer(service) as srv:
+        host, port = srv.address
+
+        def reader(tid):
+            try:
+                while not stop.is_set():
+                    # retries absorb a resubmit that crashes *again*
+                    # (surfacing as retryable ServerOverloadedError)
+                    with QueryClient(host, port, retries=4,
+                                     backoff_base=0.01) as client:
+                        for number in (1, 6, 12):
+                            reply = client.tpcd(number)
+                            assert reply.generation == \
+                                client.generation
+                            assert reply.checksum == \
+                                serial_checksums[number]
+            except BaseException as exc:     # noqa: BLE001
+                failures.append((tid, exc))
+
+        threads = [threading.Thread(target=reader, args=(tid,))
+                   for tid in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _round in range(2):
+                time.sleep(0.3)
+                _bump_generation(rewritable_db)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        counters = service.stats()["counters"]
+    service.close()
+    assert not failures, failures[:2]
+    # the fault actually fired and the degraded path absorbed it
+    assert counters["crash_retries"] >= 1, counters
+    assert counters["errors"] == 0, counters
