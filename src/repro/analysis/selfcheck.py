@@ -1,0 +1,245 @@
+"""AST lint over the source tree: project invariants as CI checks.
+
+Four invariants, each of which has silently broken (or nearly broken)
+at least once in this repo's history and is cheap to enforce
+mechanically:
+
+1. **Chaos coverage** — every injection point declared via
+   ``faults.declare(...)`` in ``src/`` must appear as a string literal
+   somewhere in ``tests/chaos/``: a point no chaos test arms is a
+   fault path that has never executed.
+2. **Error taxonomy** — every exception class defined in
+   ``src/repro/errors.py`` must have an entry in ``errors.RETRYABLE``
+   (the client's retry policy is a total function over the taxonomy)
+   and must be referenced by name somewhere under ``tests/`` (an error
+   no test ever mentions is an untested contract).
+3. **No bare excepts** — ``except:`` swallows ``KeyboardInterrupt``
+   and ``SystemExit``; the narrowest-possible handler is repo policy.
+4. **Durable renames** — any function that stages a write through a
+   ``*.tmp`` path and publishes it with ``os.replace``/``os.rename``
+   must ``fsync`` before the rename, otherwise a crash can leave the
+   rename durable while the bytes are not (the storage layer's
+   write-temp discipline, enforced everywhere it is imitated).
+
+``run_selfcheck`` returns a list of findings (empty = clean tree);
+``python -m repro.analysis --selfcheck`` exits non-zero on any.
+"""
+
+import ast
+import os
+
+from .verify import Finding
+
+#: repository-relative directories the invariants are scoped to
+SRC_DIR = "src"
+TESTS_DIR = "tests"
+CHAOS_DIR = os.path.join("tests", "chaos")
+ERRORS_MODULE = os.path.join("src", "repro", "errors.py")
+
+
+def repo_root(start=None):
+    """The enclosing repository root (the directory holding ``src/``)."""
+    here = os.path.abspath(start or os.path.dirname(__file__))
+    while True:
+        if os.path.isdir(os.path.join(here, SRC_DIR)) and \
+                os.path.isfile(os.path.join(here, ERRORS_MODULE)):
+            return here
+        parent = os.path.dirname(here)
+        if parent == here:
+            raise RuntimeError("cannot locate the repository root "
+                               "(no src/repro/errors.py above %r)"
+                               % (start or __file__))
+        here = parent
+
+
+def _python_files(root, subdir):
+    base = os.path.join(root, subdir)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _parse(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return ast.parse(handle.read(), filename=path)
+
+
+def _rel(root, path):
+    return os.path.relpath(path, root)
+
+
+def _string_constants(tree):
+    return set(node.value for node in ast.walk(tree)
+               if isinstance(node, ast.Constant)
+               and isinstance(node.value, str))
+
+
+# ----------------------------------------------------------------------
+# invariant 1: chaos coverage of declared fault points
+# ----------------------------------------------------------------------
+def _declared_fault_points(root):
+    """(point, file, line) for every ``faults.declare(...)`` literal."""
+    points = []
+    for path in _python_files(root, SRC_DIR):
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            named = (isinstance(func, ast.Attribute)
+                     and func.attr == "declare") or \
+                    (isinstance(func, ast.Name)
+                     and func.id == "declare")
+            if not named:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and \
+                        isinstance(arg.value, str):
+                    points.append((arg.value, _rel(root, path),
+                                   node.lineno))
+    return points
+
+
+def check_chaos_coverage(root):
+    armed = set()
+    for path in _python_files(root, CHAOS_DIR):
+        armed |= _string_constants(_parse(path))
+    findings = []
+    for point, rel, line in _declared_fault_points(root):
+        if point not in armed:
+            findings.append(Finding(
+                "error", "unarmed-fault-point", None,
+                "%s:%d declares fault point %r but no test in %s/ "
+                "arms it" % (rel, line, point, CHAOS_DIR)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# invariant 2: error taxonomy classified and tested
+# ----------------------------------------------------------------------
+def _error_classes(root):
+    tree = _parse(os.path.join(root, ERRORS_MODULE))
+    classes = []
+    retryable = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes.append((node.name, node.lineno))
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if "RETRYABLE" in targets and \
+                    isinstance(node.value, ast.Dict):
+                retryable = set(
+                    key.value for key in node.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str))
+    return classes, retryable
+
+
+def _names_referenced_in_tests(root):
+    names = set()
+    for path in _python_files(root, TESTS_DIR):
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.alias):
+                names.add(node.name.rpartition(".")[2])
+            elif isinstance(node, ast.Constant) and \
+                    isinstance(node.value, str):
+                names.add(node.value)
+    return names
+
+
+def check_error_taxonomy(root):
+    classes, retryable = _error_classes(root)
+    referenced = _names_referenced_in_tests(root)
+    findings = []
+    for name, line in classes:
+        if name not in retryable:
+            findings.append(Finding(
+                "error", "unclassified-error", None,
+                "%s:%d defines %s without a RETRYABLE entry — the "
+                "client retry policy must be total over the taxonomy"
+                % (ERRORS_MODULE, line, name)))
+        if name not in referenced:
+            findings.append(Finding(
+                "error", "untested-error", None,
+                "%s:%d defines %s but no test under %s/ references it"
+                % (ERRORS_MODULE, line, name, TESTS_DIR)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# invariant 3: no bare excepts
+# ----------------------------------------------------------------------
+def check_bare_excepts(root):
+    findings = []
+    for path in _python_files(root, SRC_DIR):
+        for node in ast.walk(_parse(path)):
+            if isinstance(node, ast.ExceptHandler) and \
+                    node.type is None:
+                findings.append(Finding(
+                    "error", "bare-except", None,
+                    "%s:%d uses a bare `except:` (swallows "
+                    "KeyboardInterrupt/SystemExit)"
+                    % (_rel(root, path), node.lineno)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# invariant 4: fsync before publishing a .tmp staging write
+# ----------------------------------------------------------------------
+def _is_os_call(node, names):
+    """True for ``os.<name>(...)`` or a bare ``<name>(...)`` call."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in names:
+        return True
+    return isinstance(func, ast.Name) and func.id in names
+
+
+def check_fsync_before_rename(root):
+    findings = []
+    for path in _python_files(root, SRC_DIR):
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            stages_tmp = any(
+                isinstance(inner, ast.Constant)
+                and isinstance(inner.value, str)
+                and inner.value.endswith(".tmp")
+                for inner in ast.walk(node))
+            if not stages_tmp:
+                continue
+            calls = [inner for inner in ast.walk(node)
+                     if isinstance(inner, ast.Call)]
+            renames = [c for c in calls
+                       if _is_os_call(c, ("replace", "rename"))]
+            if not renames:
+                continue
+            fsyncs = [c for c in calls if _is_os_call(c, ("fsync",))]
+            first_rename = min(c.lineno for c in renames)
+            if not any(c.lineno < first_rename for c in fsyncs):
+                findings.append(Finding(
+                    "error", "unsynced-rename", None,
+                    "%s:%d: function %r publishes a .tmp staging "
+                    "write with os.replace/os.rename but never "
+                    "fsyncs the staged file first — a crash could "
+                    "keep the rename and lose the bytes"
+                    % (_rel(root, path), node.lineno, node.name)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+def run_selfcheck(root=None):
+    """All invariant findings for the tree (empty list = clean)."""
+    root = root or repo_root()
+    findings = []
+    findings += check_chaos_coverage(root)
+    findings += check_error_taxonomy(root)
+    findings += check_bare_excepts(root)
+    findings += check_fsync_before_rename(root)
+    return findings

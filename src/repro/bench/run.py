@@ -15,7 +15,12 @@ repo's perf trajectory file.  Each operator entry records
 * ``faults`` — simulated cold-cache page faults of the operator call.
 
 Query entries record median wall ms, simulated faults and result
-cardinality.  ``--quick`` shrinks SF and repetitions for the smoke
+cardinality.  An ``analysis`` section verifies every compiled query
+plan with the static plan verifier (:mod:`repro.analysis.verify`) and
+records per-query verifier wall time and static row/byte/page bounds;
+the run hard-errors if any plan has a finding or if verification costs
+more than 5% of that query's median runtime (admission-time analysis
+must stay cheap).  ``--quick`` shrinks SF and repetitions for the smoke
 test wired into the tier-1 suite (``tests/test_bench_smoke.py``), so
 the harness cannot silently rot between PRs.
 
@@ -98,6 +103,7 @@ from ..monet import operators as ops
 from ..monet.operators import naive
 from ..monet.multiproc import (MultiprocExecutor, result_checksum,
                                ship_value)
+from ..analysis.verify import catalog_stats_from_kernel, verify_program
 from ..monet.optimizer import dispatch_disabled
 from ..monet.storage import PAGESIZE, residency_report, residency_snapshot
 from ..monet import vectorized as vz
@@ -512,6 +518,70 @@ def _validate_queries(db_dir):
     return validation
 
 
+#: Verifier-cost gate floor: at --quick scale query medians are a few
+#: milliseconds and 5% of that is below timer resolution, so a
+#: verification pass under this absolute wall time always passes —
+#: sub-millisecond admission work is negligible whatever the query
+#: costs.  The 5% relative gate takes over for queries slower than
+#: ``ANALYSIS_FLOOR_MS / 0.05`` (20 ms).
+ANALYSIS_FLOOR_MS = 1.0
+
+
+def _analysis_section(db, serial):
+    """Static verification cost per TPC-D plan, gated against runtime.
+
+    Every query's plan(s) — both phases for the two-phase queries —
+    are compiled and verified against the kernel catalog.  Two hard
+    gates ride on the section: the rewriter's plans are the verifier's
+    own acceptance corpus, so any finding is a ``RuntimeError``; and
+    verification is admission-time work on the serving path, so its
+    wall time must stay under 5% of the query's median runtime
+    (floored at ``ANALYSIS_FLOOR_MS`` so --quick-scale timer noise
+    cannot trip the gate).  Records per-query verifier milliseconds,
+    plan sizes, and the static row/byte/page bounds the admission
+    budget checks against.
+    """
+    stats = catalog_stats_from_kernel(db.kernel)
+    section = {"queries": {}, "budget_ok": True,
+               "floor_ms": ANALYSIS_FLOOR_MS}
+    for number in sorted(QUERIES):
+        plans = []
+        for text in QUERIES[number].texts():
+            _resolved, result = db.compile(text)
+            plans.append(verify_program(result.program, catalog=stats))
+        findings = [finding for plan in plans
+                    for finding in plan.errors + plan.warnings]
+        if findings:
+            raise RuntimeError(
+                "Q%d plan failed static verification: %s"
+                % (number, "; ".join(f.render() for f in findings)))
+        verify_ms = sum(plan.verify_ms for plan in plans)
+        median_ms = float(serial[str(number)]["median_ms"])
+        within = verify_ms <= max(0.05 * median_ms, ANALYSIS_FLOOR_MS)
+        rows = [plan.max_rows for plan in plans]
+        total_bytes = [plan.total_bytes for plan in plans]
+        pages = [plan.total_pages for plan in plans]
+        section["queries"][str(number)] = {
+            "plans": len(plans),
+            "stmts": sum(len(plan.program) for plan in plans),
+            "verify_ms": round(verify_ms, 4),
+            "rows_bound": None if None in rows else max(rows),
+            "bytes_bound": None if None in total_bytes
+            else sum(total_bytes),
+            "pages_bound": None if None in pages else sum(pages),
+            "within_budget": within,
+        }
+        section["budget_ok"] = bool(section["budget_ok"] and within)
+    if not section["budget_ok"]:
+        slow = sorted(name for name, entry in section["queries"].items()
+                      if not entry["within_budget"])
+        raise RuntimeError(
+            "plan verification exceeded 5%% of the query median for "
+            "Q%s — admission-time analysis must stay cheap"
+            % ", Q".join(slow))
+    return section
+
+
 def _multiproc_section(db_dir, procs, serial):
     """Fan the query set over worker processes; gate on checksums.
 
@@ -776,6 +846,8 @@ def run(sf, reps, quick, out_path, db_dir=None, validate=False,
                       in percentiles(times).items()})
         results["queries"][str(number)] = entry
 
+    results["analysis"] = _analysis_section(db, results["queries"])
+
     if procs and db_dir is not None:
         results["multiproc"] = _multiproc_section(
             db_dir, procs, results["queries"])
@@ -966,6 +1038,16 @@ def main(argv=None):
     print("  %d queries; slowest Q%s at %.1f ms"
           % (len(results["queries"]), slowest[0],
              slowest[1]["median_ms"]))
+    section = results["analysis"]
+    print("  analysis: %d plans (%d stmts) verified clean in %.2f ms "
+          "total, budget_ok=%s"
+          % (sum(entry["plans"]
+                 for entry in section["queries"].values()),
+             sum(entry["stmts"]
+                 for entry in section["queries"].values()),
+             sum(entry["verify_ms"]
+                 for entry in section["queries"].values()),
+             section["budget_ok"]))
     if "multiproc" in results:
         section = results["multiproc"]
         print("  multiproc sweep: %d queries across %d procs "

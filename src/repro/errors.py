@@ -38,6 +38,25 @@ class MILError(MonetError):
     """A MIL program is malformed or failed to execute."""
 
 
+class PlanVerificationError(MILError):
+    """Static plan verification rejected a MIL program before
+    execution: an unbound reference, a use-before-def, an operator
+    applied to operands it cannot accept, or a malformed statement.
+    The plan is wrong; resubmitting it cannot succeed."""
+
+    def __init__(self, message, findings=None):
+        super().__init__(message)
+        #: the verifier findings behind the rejection (list of
+        #: :class:`repro.analysis.verify.Finding`), when available
+        self.findings = list(findings) if findings else []
+
+
+class PlanBudgetExceededError(PlanVerificationError):
+    """The statically derived cardinality/byte bound of a plan exceeds
+    the configured admission budget.  The plan is well-formed but too
+    expensive for this server; not retryable against the same budget."""
+
+
 class WorkerCrashedError(MonetError):
     """A dispatcher worker process died while a task was in flight.
 
@@ -179,3 +198,69 @@ class DBGenError(TPCDError):
 
 class CostModelError(ReproError):
     """Invalid parameters for the analytic IO cost model."""
+
+
+# ----------------------------------------------------------------------
+# retryability classification
+# ----------------------------------------------------------------------
+#: Whether a request that failed with each error class may be safely
+#: retried (all requests are idempotent reads, so "retryable" means
+#: "a resend has a chance of succeeding", not "a resend is safe").
+#: Every class defined in this module must appear here — the analysis
+#: selfcheck (`python -m repro.analysis --selfcheck`) enforces the
+#: invariant, so adding an error class without classifying it fails CI.
+RETRYABLE = {
+    # transient transport / capacity conditions: back off and resend
+    "ConnectionLostError": True,
+    "ServerOverloadedError": True,
+    "QuotaExceededError": True,
+    "WorkerCrashedError": True,
+    # terminal for this request (or this server): a resend of the
+    # identical request cannot do better
+    "ReproError": False,
+    "MonetError": False,
+    "AtomError": False,
+    "HeapError": False,
+    "BATError": False,
+    "PropertyError": False,
+    "OperatorError": False,
+    "MILError": False,
+    "PlanVerificationError": False,
+    "PlanBudgetExceededError": False,
+    "CatalogError": False,
+    "CatalogLockTimeout": True,     # the writer's lock will be released
+    "StaleCatalogError": True,      # a completed save makes it current
+    "CatalogChangedError": True,    # reopen at the new generation
+    "ServerError": False,
+    "ProtocolError": False,
+    "FrameTooLargeError": False,
+    "ServerDrainingError": False,   # per policy: find another server
+    "AuthError": False,
+    "QueryTimeoutError": False,     # the budget is the caller's
+    "RetriesExhaustedError": False,  # the retry budget is already spent
+    "InjectedFaultError": False,
+    "MOAError": False,
+    "TypeSystemError": False,
+    "SchemaError": False,
+    "ParseError": False,
+    "TypeCheckError": False,
+    "RewriteError": False,
+    "EvaluationError": False,
+    "MappingError": False,
+    "TPCDError": False,
+    "DBGenError": False,
+    "CostModelError": False,
+}
+
+
+def is_retryable(error):
+    """Retryability of an exception class or instance.
+
+    Walks the MRO to the nearest classified ancestor, so subclasses
+    defined elsewhere inherit their parent's classification; anything
+    outside the :class:`ReproError` hierarchy is not retryable."""
+    cls = error if isinstance(error, type) else type(error)
+    for ancestor in cls.__mro__:
+        if ancestor.__name__ in RETRYABLE:
+            return RETRYABLE[ancestor.__name__]
+    return False

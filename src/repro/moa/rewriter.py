@@ -33,12 +33,15 @@ Published rewrite rules honoured literally:
   ``{g}(join(index, values))`` — "nested aggregates in one go".
 """
 
+from ..analysis.verify import (catalog_stats_from_kernel, check_program,
+                               live_statements)
 from ..errors import RewriteError
 from ..monet import atoms as _atoms
 from ..monet.mil import MILProgram, Var
+from ..monet.optimizer import get_optimizer
 from . import ast
-from .structures import (AtomRep, InlineAtomRep, InlineRefRep, ObjectRep,
-                         RefRep, SetRep, TupleRep, ViaRep)
+from .structures import (AtomRep, InlineAtomRep, InlineRefRep, Mirrored,
+                         ObjectRep, RefRep, SetRep, TupleRep, ViaRep)
 from .types import BaseType, ClassRef, SetType, TupleType
 
 
@@ -849,6 +852,57 @@ _SETOP_MIL = {
 }
 
 
-def rewrite(resolved, flat):
-    """Rewrite a resolved query to (MIL program, result structure)."""
-    return Rewriter(resolved, flat).rewrite()
+def rep_root_names(result):
+    """Variable names the result rep (or scalar) observes.
+
+    These are the roots of the liveness analysis: a MIL statement
+    whose target none of them (transitively) depends on can be
+    eliminated without changing what the Materializer can see.
+    """
+    roots = set()
+    if result.scalar_var is not None:
+        roots.add(result.scalar_var)
+    _collect_rep_sources(result.rep, roots)
+    return roots
+
+
+def _collect_rep_sources(rep, roots):
+    if rep is None:
+        return
+    source = getattr(rep, "source", None) or getattr(rep, "index", None) \
+        or getattr(rep, "map_source", None)
+    while isinstance(source, Mirrored):
+        source = source.source
+    if isinstance(source, Var):
+        roots.add(source.name)
+    for inner in getattr(rep, "fields", ()):
+        _collect_rep_sources(inner[1], roots)
+    _collect_rep_sources(getattr(rep, "inner", None), roots)
+
+
+def rewrite(resolved, flat, verify=True):
+    """Rewrite a resolved query to (MIL program, result structure).
+
+    Every compiled plan is statically verified against the operator
+    signature registry before it is returned, with catalog stats from
+    the flattened database — a miscompile (unbound reference, type
+    violation, malformed statement) surfaces here as a
+    :class:`~repro.errors.PlanVerificationError` instead of at run
+    time.  When the installed optimizer has ``eliminate_dead`` set,
+    statements the result rep provably never observes are dropped
+    (the analysis layer's liveness pass); the surviving program is
+    what gets verified.
+    """
+    result = Rewriter(resolved, flat).rewrite()
+    optimizer = get_optimizer()
+    if getattr(optimizer, "eliminate_dead", False):
+        live = live_statements(result.program,
+                               roots=rep_root_names(result))
+        if len(live) != len(result.program.stmts):
+            optimizer.record_dce(len(result.program.stmts) - len(live))
+            result.program.stmts = [result.program.stmts[index]
+                                    for index in live]
+    if verify:
+        stats = catalog_stats_from_kernel(flat.kernel)
+        check_program(result.program, catalog=stats)
+    return result

@@ -23,14 +23,24 @@ from collections import Counter
 class Optimizer:
     """Dispatch switch + per-implementation counters."""
 
-    def __init__(self, dynamic=True):
+    def __init__(self, dynamic=True, eliminate_dead=False):
         #: When False, operators ignore properties/accelerators and use
         #: their generic implementation (ablation A2).
         self.dynamic = dynamic
+        #: When True, the rewriter drops MIL statements whose results
+        #: the result rep never observes (dead-code elimination driven
+        #: by the analysis layer's liveness pass).  Off by default:
+        #: the paper's plans are emitted verbatim unless asked.
+        self.eliminate_dead = eliminate_dead
         #: Counter of "op:impl" strings.
         self.stats = Counter()
         #: Most recent implementation per op, for tests.
         self.last = {}
+
+    def record_dce(self, removed):
+        """Note that dead-code elimination dropped ``removed`` stmts."""
+        if removed:
+            self.stats["dce:removed"] += removed
 
     def record(self, op, impl):
         """Note that operator ``op`` executed implementation ``impl``."""

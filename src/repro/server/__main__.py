@@ -18,6 +18,7 @@ import signal
 import sys
 import threading
 
+from ..analysis.verify import PlanBudget
 from .server import QueryServer
 from .service import QueryService
 
@@ -68,17 +69,34 @@ def main(argv=None):
                              "(default: max(1, quota-rps))")
     parser.add_argument("--port-file", default=None,
                         help="write 'host port' here once bound")
+    parser.add_argument("--max-plan-rows", type=int, default=None,
+                        help="admission budget: reject plans whose "
+                             "largest static intermediate exceeds "
+                             "this many BUNs")
+    parser.add_argument("--max-plan-bytes", type=int, default=None,
+                        help="admission budget: reject plans whose "
+                             "total static byte bound exceeds this")
+    parser.add_argument("--max-plan-pages", type=int, default=None,
+                        help="admission budget: reject plans whose "
+                             "static page-fault bound exceeds this")
     args = parser.parse_args(argv)
     auth_token = args.auth_token \
         if args.auth_token is not None \
         else os.environ.get("REPRO_AUTH_TOKEN") or None
+    plan_budget = None
+    if args.max_plan_rows is not None \
+            or args.max_plan_bytes is not None \
+            or args.max_plan_pages is not None:
+        plan_budget = PlanBudget(max_rows=args.max_plan_rows,
+                                 max_bytes=args.max_plan_bytes,
+                                 max_pages=args.max_plan_pages)
 
     service = QueryService(
         args.db_dir, procs=args.procs,
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
-        default_timeout=args.timeout)
+        default_timeout=args.timeout, plan_budget=plan_budget)
     server = QueryServer(service, host=args.host, port=args.port,
                          auth_token=auth_token,
                          quota_rps=args.quota_rps,
@@ -93,6 +111,8 @@ def main(argv=None):
         # write-then-rename: pollers that see the file see its content
         with open(args.port_file + ".tmp", "w") as handle:
             handle.write("%s %d\n" % (host, port))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(args.port_file + ".tmp", args.port_file)
 
     stop = threading.Event()

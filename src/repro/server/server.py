@@ -19,8 +19,10 @@ request type       response
 
 Failures never tear the connection: any :class:`~repro.errors.
 ReproError` becomes an ``error`` frame ``{"error": <class name>,
-"message": ...}`` the client re-raises as the matching typed
-exception.  Only protocol-level corruption (undecodable frame) closes
+"message": ..., "retryable": bool}`` the client re-raises as the
+matching typed exception (the ``retryable`` bit is the server-side
+:data:`~repro.errors.RETRYABLE` verdict, for clients that do not
+know the class).  Only protocol-level corruption (undecodable frame) closes
 the socket — and even an oversized frame is answered with a typed
 :class:`~repro.errors.FrameTooLargeError` frame before the hang-up.
 
@@ -50,8 +52,21 @@ import weakref
 from .. import faults
 from ..errors import (AuthError, FrameTooLargeError, InjectedFaultError,
                       ProtocolError, QuotaExceededError, ReproError,
-                      ServerDrainingError)
+                      ServerDrainingError, is_retryable)
 from .protocol import recv_frame, send_frame
+
+
+def _error_frame(exc):
+    """The typed ``error`` frame for ``exc``.
+
+    Carries the exception class name (the client re-raises the
+    matching type) and the server's retryability verdict from the
+    :data:`~repro.errors.RETRYABLE` taxonomy, so even a client that
+    does not know the class can still decide whether resubmitting the
+    identical request can ever succeed.
+    """
+    return {"type": "error", "error": type(exc).__name__,
+            "message": str(exc), "retryable": is_retryable(exc)}
 
 #: Bump when the frame/request shape changes incompatibly.
 PROTOCOL_VERSION = 1
@@ -184,8 +199,7 @@ class QueryServer:
 
     def _send_error(self, conn, exc, request=None):
         """Best-effort typed ``error`` frame for ``exc``."""
-        error = {"type": "error", "error": type(exc).__name__,
-                 "message": str(exc)}
+        error = _error_frame(exc)
         if request is not None and "id" in request:
             error["id"] = request["id"]
         try:
@@ -292,15 +306,13 @@ class QueryServer:
                 exc = ServerDrainingError(
                     "server is draining; not accepting new work")
                 self.service.count("drain_rejections")
-                return {"type": "error", "error": type(exc).__name__,
-                        "message": str(exc)}
+                return _error_frame(exc)
             if bucket is not None and not bucket.take():
                 exc = QuotaExceededError(
                     "per-connection quota of %.3g requests/s exceeded"
                     % self.quota_rps)
                 self.service.count("quota_rejections")
-                return {"type": "error", "error": type(exc).__name__,
-                        "message": str(exc)}
+                return _error_frame(exc)
             with self._inflight_cv:
                 self._inflight += 1
             try:
@@ -326,8 +338,7 @@ class QueryServer:
             # client re-raises the matching type), anything else
             # degrades to a generic ServerError on the client side
             self.service.count_error(exc)
-            return {"type": "error", "error": type(exc).__name__,
-                    "message": str(exc)}
+            return _error_frame(exc)
 
     # ------------------------------------------------------------------
     def drain(self, timeout=5.0):

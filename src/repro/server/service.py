@@ -13,7 +13,11 @@ the multi-process dispatcher:
 * **admission control** — at most ``max_inflight`` requests execute
   at once, at most ``max_queue`` wait; beyond that (or when the queue
   wait exceeds the request's timeout budget) the request is refused
-  with a typed :class:`~repro.errors.ServerOverloadedError`;
+  with a typed :class:`~repro.errors.ServerOverloadedError`; when a
+  ``plan_budget`` is configured, ``mil`` plans are additionally
+  **statically verified and budget-checked** before admission (and
+  ``moa`` plans after worker-side compilation), so a malformed or
+  over-budget plan answers a typed error without executing anything;
 * **per-query timeout** — forwarded to the dispatcher, which kills
   and respawns the worker running an overdue query
   (:class:`~repro.errors.QueryTimeoutError`);
@@ -35,17 +39,29 @@ import threading
 import time
 from collections import deque
 
+from ..analysis.verify import catalog_stats_from_manifest, check_program
 from ..bench.harness import percentiles
 from ..errors import (ProtocolError, ServerOverloadedError,
                       WorkerCrashedError)
 from ..monet.buffer import BufferStats
 from ..monet.multiproc import MultiprocExecutor
-from ..monet.storage import catalog_generation
+from ..monet.storage import as_backend, catalog_generation
 from .cache import LRUCache
 from .protocol import decode_program, encode_value
 
 #: Sliding-window size for latency percentiles.
 LATENCY_WINDOW = 4096
+
+#: Admission-stats cache entries kept (generations seen recently).
+ADMISSION_STATS_CACHE = 4
+
+
+def _budget_options(budget):
+    """The picklable ``worker_options`` form of a ``PlanBudget``."""
+    if budget is None:
+        return None
+    return {"max_rows": budget.max_rows, "max_bytes": budget.max_bytes,
+            "max_pages": budget.max_pages}
 
 
 class _PoolEntry:
@@ -85,13 +101,25 @@ class QueryService:
     fault_plan:
         A :class:`~repro.faults.FaultPlan` shipped to every worker
         pool (chaos testing only; ``None`` = off).
+    plan_budget:
+        A :class:`~repro.analysis.verify.PlanBudget` enforced at
+        admission (``None`` = unlimited).  ``mil`` plans are verified
+        and budget-checked parent-side — before the admission queue,
+        before any worker sees them — against stats derived from the
+        catalog manifest alone; ``moa`` plans are budget-checked in
+        the worker right after compilation, before execution.  Either
+        way an over-budget plan answers a typed
+        :class:`~repro.errors.PlanBudgetExceededError` (and a
+        malformed ``mil`` plan a
+        :class:`~repro.errors.PlanVerificationError`) without ever
+        executing a statement.
     """
 
     def __init__(self, db_dir, procs=2, plan_cache_size=64,
                  result_cache_size=0, max_inflight=8, max_queue=32,
                  default_timeout=None, lock_timeout=None,
                  start_method=None, page_size=4096, crash_retries=1,
-                 fault_plan=None):
+                 fault_plan=None, plan_budget=None):
         self.db_dir = db_dir
         self.procs = max(1, int(procs))
         self.plan_cache_size = int(plan_cache_size)
@@ -103,6 +131,9 @@ class QueryService:
         self._start_method = start_method
         self._page_size = page_size
         self._fault_plan = fault_plan
+        self.plan_budget = plan_budget
+        #: generation -> manifest-derived admission stats (bounded)
+        self._admission_stats = {}
         self.result_cache = LRUCache(result_cache_size)
 
         self._pool_lock = threading.Lock()
@@ -123,7 +154,7 @@ class QueryService:
                           "timeouts": 0, "overloads": 0,
                           "result_cache_hits": 0, "crash_retries": 0,
                           "quota_rejections": 0, "auth_failures": 0,
-                          "drain_rejections": 0}
+                          "drain_rejections": 0, "plan_rejections": 0}
         self._latencies = deque(maxlen=LATENCY_WINDOW)
         self._buffer = BufferStats()
         #: (generation, pid) -> latest cumulative plan-cache snapshot
@@ -146,7 +177,9 @@ class QueryService:
             page_size=self._page_size,
             lock_timeout=self._lock_timeout,
             task_modules=("repro.server.tasks",),
-            worker_options={"plan_cache_size": self.plan_cache_size},
+            worker_options={"plan_cache_size": self.plan_cache_size,
+                            "plan_budget":
+                                _budget_options(self.plan_budget)},
             fault_plan=self._fault_plan)
 
     def session(self):
@@ -274,12 +307,52 @@ class QueryService:
                 ["mil", request["program"], fetch], sort_keys=True)
         raise ProtocolError("unknown request type %r" % (rtype,))
 
+    def _admission_stats_for(self, generation):
+        """Manifest-derived catalog stats for the verifier, cached.
+
+        Reads only the manifest (no column data is mapped in the
+        parent).  The manifest on disk may be newer than ``generation``
+        when a writer bumped the catalog under an open session; the
+        freshest readable stats are still the right conservative basis
+        for admission, so they are used and cached under the
+        generation they describe.
+        """
+        stats = self._admission_stats.get(generation)
+        if stats is not None:
+            return stats
+        manifest = as_backend(self.db_dir).read_manifest()
+        stats = catalog_stats_from_manifest(manifest)
+        if len(self._admission_stats) >= ADMISSION_STATS_CACHE:
+            self._admission_stats.clear()
+        self._admission_stats[manifest.get("generation", 0)] = stats
+        return stats
+
+    def _verify_admission(self, session, task):
+        """Statically verify a ``mil`` plan before admitting it.
+
+        Raises :class:`~repro.errors.PlanVerificationError` (malformed)
+        or :class:`~repro.errors.PlanBudgetExceededError` (over the
+        configured :attr:`plan_budget`) — either way the plan never
+        reaches the admission queue, let alone a worker.
+        """
+        _kind, _key, program, fetch = task
+        try:
+            check_program(program,
+                          catalog=self._admission_stats_for(
+                              session.generation),
+                          budget=self.plan_budget, roots=set(fetch))
+        except Exception:
+            self._count("plan_rejections")
+            raise
+
     def execute(self, session, request):
         """One executable request -> one result response dict."""
         started = time.monotonic()
         self._count("requests")
         timeout = request.get("timeout", self.default_timeout)
         task, cache_key = self._task_for(request)
+        if task[0] == "mil":
+            self._verify_admission(session, task)
         full_key = (session.generation, cache_key)
         cached = self.result_cache.get(full_key)
         if cached is not None:

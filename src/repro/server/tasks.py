@@ -25,6 +25,8 @@ counters of *this worker's* cache — which the parent-side service
 aggregates into the ``stats`` response.
 """
 
+from ..analysis.verify import (PlanBudget, catalog_stats_from_kernel,
+                               check_program)
 from ..monet.multiproc import register_task_kind, ship_value
 from .cache import LRUCache
 
@@ -42,6 +44,16 @@ def _plan_cache(ctx):
     return cache
 
 
+def _plan_budget(ctx):
+    """The service's admission budget, shipped as a plain dict."""
+    options = ctx.options.get("plan_budget")
+    if not options:
+        return None
+    return PlanBudget(max_rows=options.get("max_rows"),
+                      max_bytes=options.get("max_bytes"),
+                      max_pages=options.get("max_pages"))
+
+
 def _moa_warmup(ctx, task):
     ctx.db()
 
@@ -55,6 +67,16 @@ def _run_moa(ctx, task):
     hit = compiled is not None
     if not hit:
         _resolved, compiled = db.compile(text)
+        # budget check between compile and execute: the rewriter has
+        # already type-verified the plan, this enforces the service's
+        # static admission budget before a single statement runs.  A
+        # rejected plan never enters the cache, so every resubmission
+        # is re-checked (and re-rejected) the same way.
+        budget = _plan_budget(ctx)
+        if budget is not None:
+            check_program(compiled.program,
+                          catalog=catalog_stats_from_kernel(db.kernel),
+                          budget=budget)
         cache.put(key, compiled)
     value = db.run_compiled(compiled)
     extra = {"plan_cached": hit, "plan_cache": cache.snapshot()}

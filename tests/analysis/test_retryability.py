@@ -1,0 +1,91 @@
+"""The error taxonomy's retry policy is total, inherited, and sane.
+
+Every exception class :mod:`repro.errors` defines must carry a
+``RETRYABLE`` classification (the selfcheck lints the source for
+this; here the same invariant is asserted at runtime so it also holds
+for dynamically created subclasses), ``is_retryable`` must resolve
+instances, classes, and unclassified subclasses through the MRO, and
+the handful of policy-critical classifications are pinned explicitly
+so a careless flip shows up as a named failure, not a count change.
+"""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (CatalogChangedError, CatalogLockTimeout,
+                          ConnectionLostError, CostModelError,
+                          MILError, MOAError, MonetError,
+                          PlanBudgetExceededError,
+                          PlanVerificationError, QueryTimeoutError,
+                          QuotaExceededError, ReproError,
+                          RETRYABLE, ServerOverloadedError,
+                          StaleCatalogError, TPCDError,
+                          WorkerCrashedError, is_retryable)
+
+
+def _error_classes():
+    return [cls for _name, cls in
+            inspect.getmembers(errors, inspect.isclass)
+            if issubclass(cls, Exception)
+            and cls.__module__ == "repro.errors"]
+
+
+def test_every_error_class_is_classified():
+    missing = [cls.__name__ for cls in _error_classes()
+               if cls.__name__ not in RETRYABLE]
+    assert missing == []
+
+
+def test_every_classification_names_a_real_class():
+    stale = [name for name in RETRYABLE
+             if not hasattr(errors, name)]
+    assert stale == []
+
+
+def test_is_retryable_accepts_classes_and_instances():
+    assert is_retryable(ConnectionLostError) is True
+    assert is_retryable(ConnectionLostError("gone")) is True
+    assert is_retryable(MILError("bad plan")) is False
+
+
+def test_unclassified_subclass_inherits_from_its_parent():
+    class FlakyPool(ServerOverloadedError):
+        pass
+
+    class BrokenPlan(PlanVerificationError):
+        pass
+
+    assert is_retryable(FlakyPool("full")) is True
+    assert is_retryable(BrokenPlan("typo")) is False
+    assert is_retryable(ValueError("outside the taxonomy")) is False
+
+
+#: the classifications client/server behaviour actually depends on:
+#: transient capacity/transport conditions retry, everything a resend
+#: cannot fix does not
+PINNED = [
+    (ConnectionLostError, True),
+    (ServerOverloadedError, True),
+    (QuotaExceededError, True),
+    (WorkerCrashedError, True),
+    (CatalogLockTimeout, True),
+    (StaleCatalogError, True),
+    (CatalogChangedError, True),
+    (ReproError, False),
+    (MonetError, False),
+    (MOAError, False),
+    (TPCDError, False),
+    (CostModelError, False),
+    (QueryTimeoutError, False),
+    (PlanVerificationError, False),
+    (PlanBudgetExceededError, False),
+]
+
+
+@pytest.mark.parametrize("cls,expected",
+                         PINNED, ids=[c.__name__ for c, _ in PINNED])
+def test_pinned_classifications(cls, expected):
+    assert RETRYABLE[cls.__name__] is expected
+    assert is_retryable(cls("x")) is expected

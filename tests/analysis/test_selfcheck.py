@@ -1,0 +1,125 @@
+"""The project-invariant linter, against this repo and synthetic trees.
+
+The positive test is the CI gate itself: the real tree must come back
+finding-free.  The negative tests build miniature repository trees in
+``tmp_path`` that each violate exactly one invariant and assert the
+matching finding code — so a regression in any single check cannot
+hide behind the others.
+"""
+
+import os
+import textwrap
+
+from repro.analysis import selfcheck
+
+
+def test_repository_tree_is_clean():
+    findings = selfcheck.run_selfcheck()
+    assert findings == [], \
+        "\n".join(f.render() for f in findings)
+
+
+def test_repo_root_locates_the_tree():
+    root = selfcheck.repo_root()
+    assert os.path.isfile(os.path.join(root, "src", "repro",
+                                       "errors.py"))
+
+
+# ----------------------------------------------------------------------
+# synthetic violating trees
+# ----------------------------------------------------------------------
+ERRORS_STUB = '''
+class GoodError(Exception):
+    pass
+
+RETRYABLE = {"GoodError": False}
+'''
+
+
+def _tree(tmp_path, src_files=(), test_files=(), errors=ERRORS_STUB):
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "tests" / "chaos").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "errors.py").write_text(
+        textwrap.dedent(errors))
+    for name, body in src_files:
+        (tmp_path / "src" / name).write_text(textwrap.dedent(body))
+    for name, body in test_files:
+        (tmp_path / "tests" / name).write_text(textwrap.dedent(body))
+    return str(tmp_path)
+
+
+def _codes(tmp_path):
+    return sorted(set(
+        f.code for f in selfcheck.run_selfcheck(str(tmp_path))))
+
+
+def test_clean_synthetic_tree(tmp_path):
+    _tree(tmp_path,
+          test_files=[("test_ok.py", "from x import GoodError\n")])
+    assert _codes(tmp_path) == []
+
+
+def test_unarmed_fault_point_is_found(tmp_path):
+    _tree(tmp_path,
+          src_files=[("svc.py",
+                      'import faults\n'
+                      'faults.declare("svc.crash", "svc.armed")\n')],
+          test_files=[("test_ok.py", "from x import GoodError\n"),
+                      (os.path.join("chaos", "test_arm.py"),
+                       'POINT = "svc.armed"\n')])
+    assert "unarmed-fault-point" in _codes(tmp_path)
+    findings = selfcheck.run_selfcheck(str(tmp_path))
+    assert any("svc.crash" in f.message for f in findings)
+    assert not any("svc.armed" in f.message for f in findings)
+
+
+def test_unclassified_and_untested_errors_are_found(tmp_path):
+    _tree(tmp_path, errors='''
+        class GoodError(Exception):
+            pass
+
+        class LonelyError(Exception):
+            pass
+
+        RETRYABLE = {"GoodError": False}
+        ''',
+          test_files=[("test_ok.py", "from x import GoodError\n")])
+    codes = _codes(tmp_path)
+    assert "unclassified-error" in codes
+    assert "untested-error" in codes
+
+
+def test_bare_except_is_found(tmp_path):
+    _tree(tmp_path,
+          src_files=[("oops.py",
+                      "try:\n    pass\nexcept:\n    pass\n")],
+          test_files=[("test_ok.py", "from x import GoodError\n")])
+    assert "bare-except" in _codes(tmp_path)
+
+
+def test_unsynced_tmp_rename_is_found(tmp_path):
+    bad = '''
+        import os
+
+        def publish(path, data):
+            with open(path + ".tmp", "w") as handle:
+                handle.write(data)
+            os.replace(path + ".tmp", path)
+        '''
+    good = '''
+        import os
+
+        def publish(path, data):
+            with open(path + ".tmp", "w") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(path + ".tmp", path)
+        '''
+    _tree(tmp_path, src_files=[("bad.py", bad)],
+          test_files=[("test_ok.py", "from x import GoodError\n")])
+    assert "unsynced-rename" in _codes(tmp_path)
+
+    _tree(tmp_path / "clean", src_files=[("good.py", good)],
+          test_files=[("test_ok.py", "from x import GoodError\n")])
+    assert _codes(tmp_path / "clean") == []

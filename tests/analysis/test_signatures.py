@@ -1,0 +1,168 @@
+"""The operator-signature registry: complete, and concretely honest.
+
+Two families of assertions:
+
+* **registry shape** — one signature per interpreter op (asserted both
+  ways against ``mil._OPS``), arity checking, and the targeted
+  rejection rules the verifier leans on;
+* **abstract/concrete agreement** — for a real plan over real BATs,
+  the abstract result types the signatures derive must match the atoms
+  the kernel actually produces, and every static cardinality bound
+  must dominate the observed count.  This is the property that makes
+  the verifier sound for acceptance.
+"""
+
+import pytest
+
+from repro.errors import PlanVerificationError
+from repro.monet import MILProgram, MonetKernel, Var
+from repro.monet import bat_from_columns_values
+from repro.monet.mil import _OPS, MILInterpreter
+from repro.analysis.signatures import (ANY, BatType, ScalarType,
+                                       SignatureError, SIGNATURES,
+                                       signature_for)
+from repro.analysis.verify import (catalog_stats_from_kernel,
+                                   verify_program)
+
+
+def test_registry_covers_every_interpreter_op_exactly():
+    assert set(SIGNATURES) == set(_OPS), \
+        "signature registry and mil._OPS must list the same operators"
+
+
+def test_signature_for_unknown_op_raises():
+    with pytest.raises(KeyError):
+        signature_for("frobnicate")
+
+
+@pytest.mark.parametrize("op", sorted(_OPS))
+def test_wrong_arity_is_rejected(op):
+    signature = signature_for(op)
+    if signature.arities is None:        # variadic: rule checks shape
+        stmt = _stmt(op)
+        with pytest.raises(SignatureError):
+            signature.check(stmt, [])
+        return
+    bad = max(signature.arities) + 3
+    stmt = _stmt(op)
+    with pytest.raises(SignatureError):
+        signature.check(stmt, [ANY] * bad)
+
+
+def _stmt(op, args=()):
+    program = MILProgram()
+    return program.emit(op, list(args)) and program.stmts[-1]
+
+
+def _check(op, args, fn=None):
+    program = MILProgram()
+    program.emit(op, [Var("x%d" % i) for i in range(len(args))],
+                 **({"fn": fn} if fn else {}))
+    return signature_for(op).check(program.stmts[-1], list(args))
+
+
+INT_BAT = BatType("oid", "int", 10, count_exact=True)
+STR_BAT = BatType("oid", "string", 10, count_exact=True)
+STR_KEYED = BatType("string", "int", 4, count_exact=True)
+INT_KEYED = BatType("int", "int", 4, count_exact=True)
+
+
+def test_join_rejects_varsized_tail_head_mismatch():
+    with pytest.raises(SignatureError, match="join"):
+        _check("join", [STR_BAT, INT_KEYED])
+
+
+def test_join_accepts_and_types_the_result():
+    out = _check("join", [INT_BAT, INT_KEYED])
+    assert (out.head, out.tail) == ("oid", "int")
+    assert out.count == 10 * 4
+
+
+def test_select_point_rejects_nil_and_uncoercible_literals():
+    with pytest.raises(SignatureError):
+        _check("select", [INT_BAT, None])
+    with pytest.raises(SignatureError):
+        _check("select", [INT_BAT, "not-an-int"])
+    # open range bounds are legal: None means unbounded
+    out = _check("select", [INT_BAT, None, 5])
+    assert out.count == 10 and not out.count_exact
+
+
+def test_aggr_sum_requires_a_summable_tail():
+    with pytest.raises(SignatureError, match="sum"):
+        _check("aggr", [STR_BAT], fn="sum")
+    out = _check("aggr", [INT_BAT], fn="sum")
+    assert out.tail == "long" and out.hkey is True
+
+
+def test_union_requires_identical_atoms():
+    with pytest.raises(SignatureError):
+        _check("union", [INT_BAT, STR_BAT])
+    out = _check("union", [INT_BAT, INT_BAT])
+    assert out.count == 20
+
+
+def test_multiplex_rejects_unknown_function_and_bad_operands():
+    with pytest.raises(SignatureError):
+        _check("multiplex", [INT_BAT], fn="no_such_fn")
+    with pytest.raises(SignatureError):
+        _check("multiplex", [1, 2], fn="+")
+    out = _check("multiplex", [INT_BAT, INT_BAT], fn="+")
+    assert out.head == "oid"
+
+
+# ----------------------------------------------------------------------
+# abstract/concrete agreement on a real plan
+# ----------------------------------------------------------------------
+def _fuzz_kernel():
+    kernel = MonetKernel()
+    kernel.register("Sig_nums", bat_from_columns_values(
+        "oid", list(range(8)), "int", [3, 1, 4, 1, 5, 9, 2, 6]))
+    kernel.register("Sig_prices", bat_from_columns_values(
+        "int", [3, 1, 4, 1, 5], "double",
+        [0.5, 1.5, 2.5, 3.5, 4.5]))
+    kernel.register("Sig_names", bat_from_columns_values(
+        "oid", [0, 1, 2], "string", ["x", "y", "z"]))
+    return kernel
+
+
+def test_abstract_types_match_concrete_execution():
+    kernel = _fuzz_kernel()
+    program = MILProgram()
+    selected = program.emit("select", [Var("Sig_nums"), 1, 5])
+    joined = program.emit("join", [selected, Var("Sig_prices")])
+    marked = program.emit("mark", [joined, 0])
+    program.emit("aggr_all", [joined], fn="sum", target="total")
+
+    plan = verify_program(program,
+                          catalog=catalog_stats_from_kernel(kernel))
+    assert plan.ok and not plan.warnings
+
+    interpreter = MILInterpreter(kernel)
+    interpreter.run(program)
+    for stmt, (rows, _bytes) in zip(program, plan.stmt_bounds):
+        value = interpreter.value(stmt.target)
+        abstract = plan.var_types[stmt.target]
+        if isinstance(abstract, ScalarType):
+            continue
+        # "void" is the storage name for a dense oid column: the
+        # kernel's in-memory atom for it is OID
+        canon = lambda a: "oid" if a == "void" else a
+        assert canon(abstract.head) == value.head.atom.name
+        assert canon(abstract.tail) == value.tail.atom.name
+        assert rows is None or rows >= len(value), \
+            "static bound must dominate the observed cardinality"
+
+
+def test_verify_rejection_predicts_runtime_failure():
+    kernel = _fuzz_kernel()
+    program = MILProgram()
+    # string/int varsized mismatch: statically certain to fail
+    program.emit("join", [Var("Sig_names"), Var("Sig_prices")])
+    plan = verify_program(program,
+                          catalog=catalog_stats_from_kernel(kernel))
+    assert not plan.ok
+    with pytest.raises(PlanVerificationError):
+        plan.raise_for_errors()
+    with pytest.raises(Exception):
+        MILInterpreter(kernel).run(program)

@@ -1,0 +1,191 @@
+"""The plan verifier: def-use, hazards, budgets, catalog stats.
+
+The acceptance contract of this suite:
+
+* every plan the Moa rewriter emits for the TPC-D queries verifies
+  with **zero findings** — not even warnings;
+* the def-use analysis reproduces exactly the reference-resolution
+  behaviour of ``MILInterpreter.resolve`` (env first, catalog second);
+* the write-after-read hazard the partitioner assumes away is a typed
+  rejection, making ``partition_independent``'s read-only-catalog
+  assumption an enforced invariant;
+* budget violations raise :class:`~repro.errors.
+  PlanBudgetExceededError`, everything else :class:`~repro.errors.
+  PlanVerificationError`, and manifest-derived stats agree with
+  kernel-derived ones so the server can verify from metadata alone.
+"""
+
+import pytest
+
+from repro.errors import (MILError, PlanBudgetExceededError,
+                          PlanVerificationError)
+from repro.monet import MILProgram, MonetKernel, Var
+from repro.monet import bat_from_columns_values
+from repro.monet.storage import as_backend
+from repro.analysis.verify import (PlanBudget, catalog_stats_from_kernel,
+                                   catalog_stats_from_manifest,
+                                   check_program, live_statements,
+                                   verify_program)
+from repro.tpcd import QUERIES, load_tpcd
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    k = MonetKernel()
+    k.register("Ver_nums", bat_from_columns_values(
+        "oid", list(range(6)), "int", [5, 3, 8, 1, 9, 2]))
+    k.register("Ver_names", bat_from_columns_values(
+        "oid", list(range(3)), "string", ["a", "b", "c"]))
+    return k
+
+
+@pytest.fixture(scope="module")
+def stats(kernel):
+    return catalog_stats_from_kernel(kernel)
+
+
+def _codes(plan):
+    return [finding.code for finding in plan.findings]
+
+
+# ----------------------------------------------------------------------
+# def-use
+# ----------------------------------------------------------------------
+def test_undefined_ref_is_an_error(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("no_such_bat")])
+    plan = verify_program(program, catalog=stats)
+    assert _codes(plan) == ["undefined-ref"]
+    with pytest.raises(PlanVerificationError) as excinfo:
+        plan.raise_for_errors()
+    assert excinfo.value.findings == plan.errors
+
+
+def test_use_before_def_is_distinguished(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("late")])
+    program.emit("ident", [Var("Ver_nums")], target="late")
+    plan = verify_program(program, catalog=stats)
+    assert "use-before-def" in _codes(plan)
+
+
+def test_without_catalog_unresolved_names_pass(kernel):
+    program = MILProgram()
+    program.emit("mirror", [Var("anything_goes")])
+    assert verify_program(program, catalog=None).ok
+
+
+def test_interpreter_agrees_on_undefined_refs(kernel, stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("no_such_bat")])
+    assert not verify_program(program, catalog=stats).ok
+    from repro.monet.mil import MILInterpreter
+    with pytest.raises(MILError):
+        MILInterpreter(kernel).run(program)
+
+
+# ----------------------------------------------------------------------
+# hazards and liveness
+# ----------------------------------------------------------------------
+def test_war_hazard_on_catalog_bat_is_rejected(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("Ver_nums")])
+    program.emit("ident", [Var("Ver_names")], target="Ver_nums")
+    plan = verify_program(program, catalog=stats)
+    assert "war-hazard" in _codes(plan)
+    assert not plan.ok
+
+
+def test_shadowing_without_prior_read_is_only_a_warning(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("Ver_names")], target="Ver_nums")
+    plan = verify_program(program, catalog=stats)
+    assert _codes(plan) == ["shadows-catalog"]
+    assert plan.ok                       # warnings never reject
+
+
+def test_dead_statement_warning_and_liveness(stats):
+    program = MILProgram()
+    kept = program.emit("mirror", [Var("Ver_nums")])
+    program.emit("mirror", [Var("Ver_names")])      # dead under roots
+    plan = verify_program(program, catalog=stats,
+                          roots={kept.name})
+    assert _codes(plan) == ["dead-instruction"]
+    assert plan.ok
+    assert live_statements(program, roots={kept.name}) == [0]
+    assert live_statements(program) == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# budgets
+# ----------------------------------------------------------------------
+def test_budget_rows_bytes_pages_each_reject(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("Ver_nums")])       # 6 rows, 72 bytes
+    for budget in (PlanBudget(max_rows=5), PlanBudget(max_bytes=71),
+                   PlanBudget(max_pages=0)):
+        with pytest.raises(PlanBudgetExceededError):
+            check_program(program, catalog=stats, budget=budget)
+    assert check_program(program, catalog=stats,
+                         budget=PlanBudget(max_rows=6)).ok
+
+
+def test_underivable_bound_with_budget_is_conservative(stats):
+    program = MILProgram()
+    program.emit("mirror", [Var("mystery")])
+    # no catalog: bounds underivable; with a budget that must reject
+    plan = verify_program(program, catalog=None,
+                          budget=PlanBudget(max_rows=100))
+    assert [f.code for f in plan.errors] == ["budget"]
+    with pytest.raises(PlanBudgetExceededError):
+        plan.raise_for_errors()
+    # without a budget the same plan is fine
+    assert verify_program(program, catalog=None).ok
+
+
+def test_budget_error_is_a_verification_error_subclass():
+    assert issubclass(PlanBudgetExceededError, PlanVerificationError)
+    assert issubclass(PlanVerificationError, MILError)
+
+
+# ----------------------------------------------------------------------
+# catalog stats: kernel and manifest derivations agree
+# ----------------------------------------------------------------------
+def test_manifest_stats_match_kernel_stats(tiny_tpcd, tmp_path):
+    db_dir = tmp_path / "db"
+    db, _report = load_tpcd(tiny_tpcd, db_dir=db_dir)
+    from_kernel = catalog_stats_from_kernel(db.kernel)
+    manifest = as_backend(db_dir).read_manifest()
+    from_manifest = catalog_stats_from_manifest(manifest)
+    assert set(from_kernel) == set(from_manifest)
+    for name, expected in from_kernel.items():
+        got = from_manifest[name]
+        assert (got.head, got.tail) == (expected.head, expected.tail), \
+            name
+        assert got.count == expected.count, name
+        assert (got.hkey, got.tkey, got.hordered, got.tordered) == \
+            (expected.hkey, expected.tkey, expected.hordered,
+             expected.tordered), name
+
+
+# ----------------------------------------------------------------------
+# the acceptance bar: every TPC-D plan verifies finding-free
+# ----------------------------------------------------------------------
+def test_every_tpcd_plan_verifies_clean(tiny_tpcd_db):
+    stats = catalog_stats_from_kernel(tiny_tpcd_db.kernel)
+    checked = 0
+    for number in sorted(QUERIES):
+        for phase, text in enumerate(QUERIES[number].texts()):
+            _resolved, result = tiny_tpcd_db.compile(text)
+            plan = verify_program(result.program, catalog=stats)
+            assert plan.findings == [], \
+                "Q%d phase %d: %s" % (number, phase,
+                                      [f.render()
+                                       for f in plan.findings])
+            assert plan.max_rows is not None \
+                and plan.total_bytes is not None \
+                and plan.total_pages is not None, \
+                "Q%d phase %d: bounds must be derivable" \
+                % (number, phase)
+            checked += 1
+    assert checked >= 15

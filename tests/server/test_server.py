@@ -421,3 +421,74 @@ def test_caches_stay_correct_while_workers_crash(rewritable_db,
     # the fault actually fired and the degraded path absorbed it
     assert counters["crash_retries"] >= 1, counters
     assert counters["errors"] == 0, counters
+
+
+# ----------------------------------------------------------------------
+# static plan admission (verifier + budget, before any worker runs)
+# ----------------------------------------------------------------------
+def test_error_frames_carry_the_retryability_verdict():
+    from repro.errors import PlanBudgetExceededError
+    from repro.server.server import _error_frame
+
+    frame = _error_frame(ServerOverloadedError("full"))
+    assert frame["type"] == "error"
+    assert frame["error"] == "ServerOverloadedError"
+    assert frame["retryable"] is True
+    frame = _error_frame(PlanBudgetExceededError("too big"))
+    assert frame["retryable"] is False
+
+
+def test_plan_budget_rejects_before_any_worker_executes(db_dir):
+    from repro.analysis.verify import PlanBudget
+    from repro.errors import (PlanBudgetExceededError,
+                              PlanVerificationError)
+
+    service = QueryService(db_dir, procs=1,
+                           plan_budget=PlanBudget(max_rows=50))
+    with QueryServer(service) as srv:
+        host, port = srv.address
+        with QueryClient(host, port) as client:
+            # over-budget moa: compiled in the worker, rejected before
+            # a single statement runs, typed across the wire
+            with pytest.raises(PlanBudgetExceededError):
+                client.moa(QUERIES[1].texts()[0])
+            # malformed mil: rejected parent-side, pre-admission
+            bad = MILProgram()
+            bad.emit("join", [Var("not_a_bat"),
+                              Var("Item_quantity")])
+            with pytest.raises(PlanVerificationError):
+                client.mil(bad, ["whatever"])
+            # over-budget mil: also rejected parent-side
+            big = MILProgram()
+            big.emit("join", [Var("Item_part"), Var("Part_name")])
+            with pytest.raises(PlanBudgetExceededError):
+                client.mil(big, ["whatever"])
+            # an under-budget plan still executes normally
+            ok = MILProgram()
+            window = ok.emit("slice", [Var("Item_quantity"), 0, 9])
+            ok.emit("aggr_all", [window], fn="count", target="n")
+            assert client.mil(ok, ["n"]).value == {"n": 9}
+            counters = client.stats()["counters"]
+    service.close()
+    # both mil rejections were counted, and of the four executable
+    # requests only the under-budget plan ever produced a result
+    assert counters["plan_rejections"] == 2, counters
+    assert counters["results"] == 1, counters
+
+
+def test_unbudgeted_service_verifies_mil_but_admits_everything(db_dir):
+    from repro.errors import PlanVerificationError
+
+    service = QueryService(db_dir, procs=1)
+    with QueryServer(service) as srv:
+        host, port = srv.address
+        with QueryClient(host, port) as client:
+            # verification still rejects malformed plans...
+            bad = MILProgram()
+            bad.emit("mirror", [Var("nope")])
+            with pytest.raises(PlanVerificationError):
+                client.mil(bad, ["x"])
+            # ...but big well-formed plans pass (no budget configured)
+            reply = client.moa(QUERIES[1].texts()[0])
+            assert reply.checksum
+    service.close()
