@@ -9,6 +9,14 @@ textual Moa requests a second time, so the server's per-worker plan
 cache demonstrably engages (the run fails if the stats response shows
 zero plan-cache hits).
 
+``--wire`` picks the client wire format: ``json``, ``binary``, or
+``both`` (default), which splits the client fleet between the two
+formats so a single run diffs binary-wire checksums against
+JSON-wire checksums against the serial run.  ``--spool DIR`` starts
+the server with a local spool directory and makes every client opt
+into the mmap spool fast path (threshold 0, so each result payload
+ships as a spool file).
+
 This is both the README's client example and the CI server-smoke job::
 
     python examples/serve_smoke.py --db-dir /tmp/tpcd-db --clients 4
@@ -53,12 +61,19 @@ def serial_checksums(db_dir):
     return checksums
 
 
-def start_server(db_dir, procs, tmp_dir):
+def start_server(db_dir, procs, tmp_dir, spool_dir=None,
+                 result_cache_bytes=0):
     port_file = os.path.join(tmp_dir, "server.port")
+    command = [sys.executable, "-m", "repro.server", "--db-dir",
+               str(db_dir), "--port", "0", "--procs", str(procs),
+               "--port-file", port_file]
+    if spool_dir:
+        command += ["--spool-dir", str(spool_dir),
+                    "--spool-threshold", "0"]
+    if result_cache_bytes:
+        command += ["--result-cache-bytes", str(result_cache_bytes)]
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.server", "--db-dir",
-         str(db_dir), "--port", "0", "--procs", str(procs),
-         "--port-file", port_file],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     deadline = time.monotonic() + 60.0
     while not os.path.exists(port_file):
@@ -77,9 +92,15 @@ def start_server(db_dir, procs, tmp_dir):
     return process, host, int(port)
 
 
-def client_pass(host, port, expected, failures, latencies, lock, tid):
+def client_pass(host, port, expected, failures, latencies, lock, tid,
+                wire="json", spool=False):
     try:
-        with QueryClient(host, port) as client:
+        with QueryClient(host, port, wire=wire, spool=spool,
+                         spool_threshold=0 if spool else None) as client:
+            if client.wire != wire:
+                raise AssertionError(
+                    "client %d asked for the %s wire but negotiated "
+                    "%s" % (tid, wire, client.wire))
             for number in sorted(QUERIES):
                 texts = QUERIES[number].texts()
                 replies = [client.tpcd(number)]
@@ -90,9 +111,14 @@ def client_pass(host, port, expected, failures, latencies, lock, tid):
                 for reply in replies:
                     if reply.checksum != expected[number]:
                         raise AssertionError(
-                            "Q%d diverged on client %d: served %s, "
-                            "serial %s" % (number, tid, reply.checksum,
-                                           expected[number]))
+                            "Q%d diverged on client %d (%s wire): "
+                            "served %s, serial %s"
+                            % (number, tid, wire, reply.checksum,
+                               expected[number]))
+                    if spool and not reply.spooled:
+                        raise AssertionError(
+                            "client %d opted into spooling but Q%d "
+                            "arrived inline" % (tid, number))
                     with lock:
                         latencies.append(reply.service_ms)
     except BaseException as exc:                # noqa: BLE001
@@ -109,16 +135,35 @@ def main(argv=None):
                         help="scale factor when the catalog must be "
                              "built first")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--wire", choices=("both", "json", "binary"),
+                        default="both",
+                        help="client wire format; 'both' splits the "
+                             "fleet so binary checksums are diffed "
+                             "against json checksums in one run")
+    parser.add_argument("--spool", metavar="DIR", default=None,
+                        help="serve results through the local mmap "
+                             "spool fast path rooted at DIR")
+    parser.add_argument("--result-cache-bytes", type=int, default=0,
+                        help="byte budget for the server's result "
+                             "cache (0 disables)")
     args = parser.parse_args(argv)
 
     ensure_db(args.db_dir, args.sf, args.seed)
     expected = serial_checksums(args.db_dir)
     print("serial run: %d queries digested" % len(expected))
 
-    process, host, port = start_server(args.db_dir, args.procs,
-                                       tempfile.mkdtemp(
-                                           prefix="serve-smoke-"))
+    process, host, port = start_server(
+        args.db_dir, args.procs,
+        tempfile.mkdtemp(prefix="serve-smoke-"),
+        spool_dir=args.spool,
+        result_cache_bytes=args.result_cache_bytes)
     print("server up on %s:%d (pid %d)" % (host, port, process.pid))
+    if args.wire == "both":
+        # even tids ride the binary wire, odd ones classic JSON
+        wires = ["binary" if tid % 2 == 0 else "json"
+                 for tid in range(args.clients)]
+    else:
+        wires = [args.wire] * args.clients
     try:
         failures, latencies = [], []
         lock = threading.Lock()
@@ -126,7 +171,10 @@ def main(argv=None):
         threads = [threading.Thread(target=client_pass,
                                     args=(host, port, expected,
                                           failures, latencies, lock,
-                                          tid))
+                                          tid),
+                                    kwargs={"wire": wires[tid],
+                                            "spool":
+                                                args.spool is not None})
                    for tid in range(args.clients)]
         for thread in threads:
             thread.start()
@@ -150,6 +198,17 @@ def main(argv=None):
                  stats["latency_ms"]["count"]))
         print("plan cache: %(hits)d hits / %(misses)d misses "
               "(hit rate %(hit_rate)s)" % plan)
+        print("wire fleet: %d binary, %d json%s"
+              % (wires.count("binary"), wires.count("json"),
+                 " (spool fast path)" if args.spool else ""))
+        if args.result_cache_bytes:
+            cache = stats["result_cache"]
+            print("result cache: %(hits)d hits, %(bytes)d/"
+                  "%(budget_bytes)d bytes (peak %(peak_bytes)d)"
+                  % cache)
+            if cache["peak_bytes"] > cache["budget_bytes"]:
+                print("FAILED: result cache exceeded its byte budget")
+                return 1
         print("buffer faults across the fleet: %d"
               % stats["buffer"]["faults"])
         # each client issues each Moa text once and caches are per
@@ -159,7 +218,7 @@ def main(argv=None):
             print("FAILED: no plan-cache hits observed")
             return 1
         print("OK: every served checksum matches the independent "
-              "serial run")
+              "serial run across all wire modes")
         return 0
     finally:
         process.terminate()

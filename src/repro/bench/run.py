@@ -77,6 +77,14 @@ buffer faults).  Query entries record p50/p95/p99 over their reps
 alongside the median for the same reason: tail latency is the serving
 observable.
 
+The serve section also carries a ``wire`` subsection: one client per
+wire mode (``json``, ``binary``, and the local ``spool`` fast path)
+runs the same request mix — the TPC-D set plus a column-shipping MIL
+fetch — against a service with a byte-weighted result cache.  Per
+mode it records qps, p50/p95 latency, and total reply bytes; hard
+gates assert every checksum identical across modes, binary reply
+bytes <= JSON reply bytes, and the cache never above its byte budget.
+
 The harness **fails with a nonzero exit** when any operator or query
 median regresses by more than 2x against the previous JSON at the
 output path (same scale + mode only; disable with
@@ -87,8 +95,10 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import statistics
 import sys
+import tempfile
 import threading
 import time
 
@@ -773,6 +783,133 @@ def _serve_section(db_dir, clients_sweep, procs, serial,
     return section
 
 
+#: Rounds of the request mix each wire-format client runs (>= 2, so
+#: the second round observes the byte-weighted result cache).
+WIRE_ROUNDS = 2
+
+#: Result-cache budget for the wire sweep (bytes).  Small on purpose:
+#: the sweep gates that the cache never exceeds it.
+WIRE_CACHE_BUDGET = 4 << 20
+
+
+def _wire_program():
+    """A column-shipping MIL request: a 64 KiB int64 window scaled
+    through multiplex.  TPC-D results are short row lists, where the
+    wire format barely matters; this is the payload shape the binary
+    wire exists for (raw little-endian buffers vs base64-in-JSON)."""
+    from ..monet import MILProgram, Var
+
+    program = MILProgram()
+    window = program.emit("slice", [Var("Item_quantity"), 0, 8191])
+    program.emit("multiplex", [window, 1], fn="*", target="col")
+    return program
+
+
+def _wire_section(db_dir, procs, serial, rounds=WIRE_ROUNDS):
+    """Wire-format comparison: the same request mix over the JSON and
+    binary wires plus the local mmap spool fast path, one client per
+    mode, every reply checksum-diffed across modes and (for the TPC-D
+    entries) against this run's serial checksums.
+
+    Runs against its own service with a byte-weighted result cache so
+    the sweep also gates the cache contract: the second round of each
+    mode must hit, and the cache may never exceed its budget.  Hard
+    gates (RuntimeError): cross-mode checksum divergence, binary reply
+    bytes exceeding JSON reply bytes, cache over budget, zero cache
+    hits.
+    """
+    from ..server import QueryClient, QueryServer, QueryService
+
+    requests = _serve_requests()
+    program = _wire_program()
+    section = {
+        "budget_bytes": WIRE_CACHE_BUDGET,
+        "rounds": int(rounds),
+        "modes": {},
+    }
+    checksums = {}
+    spool_dir = tempfile.mkdtemp(prefix="repro-bench-spool-")
+    service = QueryService(db_dir, procs=procs,
+                           result_cache_bytes=WIRE_CACHE_BUDGET)
+    try:
+        with QueryServer(service, spool_dir=spool_dir) as server:
+            host, port = server.address
+            for mode in ("json", "binary", "spool"):
+                wire = "json" if mode == "json" else "binary"
+                latencies = []
+                seen = {}
+                with QueryClient(host, port, wire=wire,
+                                 spool=(mode == "spool"),
+                                 spool_threshold=0) as client:
+                    if client.wire != wire:
+                        raise RuntimeError(
+                            "wire negotiation degraded to %r while "
+                            "sweeping %r" % (client.wire, mode))
+                    started = time.perf_counter()
+                    for _ in range(rounds):
+                        for number, kind, text in requests:
+                            sent = time.perf_counter()
+                            if kind == "moa":
+                                reply = client.moa(text)
+                            else:
+                                reply = client.tpcd(number)
+                            latencies.append(
+                                (time.perf_counter() - sent) * 1000.0)
+                            expected = serial[str(number)]["checksum"]
+                            if reply.checksum != expected:
+                                raise RuntimeError(
+                                    "%s wire diverged for Q%d: got "
+                                    "%s, serial run computed %s"
+                                    % (mode, number, reply.checksum,
+                                       expected))
+                            seen["q%d" % number] = reply.checksum
+                        sent = time.perf_counter()
+                        reply = client.mil(program, ["col"])
+                        latencies.append(
+                            (time.perf_counter() - sent) * 1000.0)
+                        seen["mil_col"] = reply.checksum
+                    wall_ms = (time.perf_counter() - started) * 1000.0
+                    entry = {
+                        "wire": client.wire,
+                        "spool": client.spooling,
+                        "requests": len(latencies),
+                        "reply_bytes": int(client.bytes_received),
+                        "spool_bytes": int(client.spool_bytes),
+                        "wall_ms": round(wall_ms, 4),
+                        "qps": round(len(latencies)
+                                     / max(wall_ms / 1000.0, 1e-9), 2),
+                    }
+                    entry.update({"%s_ms" % name: value for name, value
+                                  in percentiles(latencies).items()})
+                section["modes"][mode] = entry
+                checksums[mode] = seen
+            cache = service.stats()["result_cache"]
+    finally:
+        service.close()
+        shutil.rmtree(spool_dir, ignore_errors=True)
+    for mode, seen in checksums.items():
+        if seen != checksums["json"]:
+            raise RuntimeError(
+                "wire sweep checksum divergence between json and %s: "
+                "%r vs %r" % (mode, checksums["json"], seen))
+    json_bytes = section["modes"]["json"]["reply_bytes"]
+    binary_bytes = section["modes"]["binary"]["reply_bytes"]
+    if binary_bytes > json_bytes:
+        raise RuntimeError(
+            "binary wire shipped more reply bytes than JSON "
+            "(%d > %d)" % (binary_bytes, json_bytes))
+    if cache["bytes"] > cache["budget_bytes"] \
+            or cache["peak_bytes"] > cache["budget_bytes"]:
+        raise RuntimeError(
+            "result cache exceeded its byte budget: %r" % (cache,))
+    if rounds > 1 and cache["hits"] == 0:
+        raise RuntimeError("wire sweep recorded zero result-cache "
+                           "hits across %d rounds" % rounds)
+    section["result_cache"] = cache
+    section["checksums_match"] = True
+    return section
+
+
 def run(sf, reps, quick, out_path, db_dir=None, validate=False,
         seed=DEFAULT_SEED, workers_sweep=DEFAULT_WORKER_SWEEP,
         procs=0, serve_sweep=()):
@@ -856,6 +993,8 @@ def run(sf, reps, quick, out_path, db_dir=None, validate=False,
         results["serve"] = _serve_section(
             db_dir, list(serve_sweep), procs or DEFAULT_PROCS_SERVE,
             results["queries"])
+        results["serve"]["wire"] = _wire_section(
+            db_dir, procs or DEFAULT_PROCS_SERVE, results["queries"])
 
     if validate and db_dir is not None:
         results["residency"] = _validate_queries(db_dir)
@@ -1070,6 +1209,19 @@ def main(argv=None):
                   % (clients, entry["requests"], entry["wall_ms"],
                      entry["qps"], entry["p50_ms"], entry["p95_ms"],
                      entry["p99_ms"]))
+        wire = section.get("wire")
+        if wire:
+            cache = wire["result_cache"]
+            print("  wire sweep (result cache %d/%d bytes peak, "
+                  "%d hits, all checksums identical across modes):"
+                  % (cache["peak_bytes"], cache["budget_bytes"],
+                     cache["hits"]))
+            for mode, entry in sorted(wire["modes"].items()):
+                print("    %-6s %5d requests  %8d reply bytes  "
+                      "%7.1f q/s  p50=%.2fms p95=%.2fms"
+                      % (mode, entry["requests"], entry["reply_bytes"],
+                         entry["qps"], entry["p50_ms"],
+                         entry["p95_ms"]))
     if "residency" in results:
         print("  residency validation (simulated vs real pages):")
         for number, entry in sorted(results["residency"].items(),

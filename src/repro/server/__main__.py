@@ -43,10 +43,27 @@ def main(argv=None):
                         metavar="N",
                         help="per-worker LRU plan-cache capacity "
                              "(0 disables)")
-    parser.add_argument("--result-cache", type=int, default=0,
-                        metavar="N",
-                        help="parent-side LRU result-cache capacity "
-                             "(0 = off)")
+    parser.add_argument("--result-cache-bytes", type=int, default=0,
+                        metavar="BYTES",
+                        help="parent-side byte-weighted result-cache "
+                             "budget (0 = off); identical column "
+                             "buffers are deduplicated by content "
+                             "hash")
+    parser.add_argument("--result-cache-ttl", type=float, default=None,
+                        metavar="S",
+                        help="seconds a cached result stays servable "
+                             "(default: no expiry)")
+    parser.add_argument("--spool-dir", default=None,
+                        help="directory for the local-client result "
+                             "fast path: spool-negotiated replies "
+                             "past the threshold ship as mmap'd "
+                             "binary files (default: off)")
+    parser.add_argument("--spool-threshold", type=int, default=None,
+                        metavar="BYTES",
+                        help="default payload size above which "
+                             "spool-enabled connections receive "
+                             "files (clients may negotiate their "
+                             "own)")
     parser.add_argument("--max-inflight", type=int, default=8)
     parser.add_argument("--max-queue", type=int, default=32)
     parser.add_argument("--timeout", type=float, default=None,
@@ -94,19 +111,24 @@ def main(argv=None):
     service = QueryService(
         args.db_dir, procs=args.procs,
         plan_cache_size=args.plan_cache,
-        result_cache_size=args.result_cache,
+        result_cache_bytes=args.result_cache_bytes,
+        result_cache_ttl=args.result_cache_ttl,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
         default_timeout=args.timeout, plan_budget=plan_budget)
     server = QueryServer(service, host=args.host, port=args.port,
                          auth_token=auth_token,
                          quota_rps=args.quota_rps,
-                         quota_burst=args.quota_burst)
+                         quota_burst=args.quota_burst,
+                         spool_dir=args.spool_dir,
+                         spool_threshold=args.spool_threshold)
     server.start()
     host, port = server.address
     print("repro.server: serving %s on %s:%d (procs=%d, "
-          "plan_cache=%d, result_cache=%d, max_inflight=%d)"
+          "plan_cache=%d, result_cache_bytes=%d, max_inflight=%d%s)"
           % (args.db_dir, host, port, args.procs, args.plan_cache,
-             args.result_cache, args.max_inflight), flush=True)
+             args.result_cache_bytes, args.max_inflight,
+             ", spool=%s" % args.spool_dir if args.spool_dir else ""),
+          flush=True)
     if args.port_file:
         # write-then-rename: pollers that see the file see its content
         with open(args.port_file + ".tmp", "w") as handle:

@@ -11,6 +11,16 @@ frames re-raise as the matching typed exception from
 :mod:`repro.errors` (:class:`~repro.errors.ServerOverloadedError`,
 :class:`~repro.errors.QueryTimeoutError`, ...).
 
+By default the client negotiates the **binary columnar wire** right
+after the hello (``wire="binary"``): result payloads then arrive as
+raw little-endian column buffers decoded zero-copy into read-only
+ndarrays, instead of base64 inside JSON.  Against a server that does
+not advertise (or refuses) the format, the connection silently stays
+on the legacy JSON wire, and the checksum verification is identical
+either way.  ``spool=True`` additionally opts into the local-client
+fast path — large results ship as mmap'd files (see
+:func:`~repro.server.protocol.read_spooled_payload`).
+
 Resilience (opt-in via ``retries``)
 -----------------------------------
 
@@ -44,10 +54,10 @@ import time
 from .. import errors as _errors
 from ..errors import (AuthError, ConnectionLostError, ProtocolError,
                       RetriesExhaustedError, ServerDrainingError,
-                      ServerError, ServerOverloadedError)
+                      ServerError, ServerOverloadedError, SpoolError)
 from ..monet.multiproc import result_checksum
-from .protocol import (decode_value, encode_program, recv_frame,
-                       send_frame)
+from .protocol import (WIRE_JSON, decode_value, encode_program,
+                       read_spooled_payload, recv_frame, send_frame)
 
 
 class ClientReply:
@@ -55,9 +65,9 @@ class ClientReply:
 
     __slots__ = ("value", "canonical", "checksum", "elapsed_ms",
                  "service_ms", "generation", "pid", "plan_cached",
-                 "result_cached", "faults")
+                 "result_cached", "faults", "payload_bytes", "spooled")
 
-    def __init__(self, canonical, response):
+    def __init__(self, canonical, response, spooled=False):
         #: the canonical shipped form ({"kind": ...}-style)
         self.canonical = canonical
         #: the bare result (rows list, scalar, or {name: value} env)
@@ -72,6 +82,10 @@ class ClientReply:
         #: True when the parent-side result cache answered
         self.result_cached = response.get("result_cached", False)
         self.faults = response.get("faults")
+        #: canonical byte weight of the payload, as the server sees it
+        self.payload_bytes = response.get("payload_bytes")
+        #: True when the payload arrived as an mmap'd spool file
+        self.spooled = spooled
 
     def __repr__(self):
         return ("ClientReply(sha1=%s, gen=%s, %sms%s%s)"
@@ -123,12 +137,27 @@ class QueryClient:
         Socket timeout while awaiting a reply (``None`` = wait
         forever); an expiry counts as a lost connection, which a
         retry budget turns into reconnect-and-resend.
+    wire:
+        Preferred reply encoding: ``"binary"`` (the default) asks the
+        server for raw-column-buffer frames; ``"json"`` keeps the
+        legacy base64-in-JSON wire.  A server that does not advertise
+        the preference in its hello (or refuses it) silently leaves
+        the connection on JSON — :attr:`wire` reports what was
+        actually negotiated.
+    spool / spool_threshold:
+        Opt into the local-client fast path: results whose canonical
+        weight is at least ``spool_threshold`` bytes (server default
+        when ``None``) arrive as an mmap'd binary file instead of
+        inline frame bytes.  Only meaningful when client and server
+        share a filesystem; takes effect only when the server has a
+        spool directory configured.
     """
 
     def __init__(self, host, port, connect_timeout=10.0,
                  verify=True, auth_token=None, retries=0,
                  backoff_base=0.05, backoff_max=2.0,
-                 request_timeout=None):
+                 request_timeout=None, wire="binary", spool=False,
+                 spool_threshold=None):
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
@@ -138,10 +167,17 @@ class QueryClient:
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
         self.request_timeout = request_timeout
+        self.wire_preference = wire
+        self.spool_preference = bool(spool)
+        self.spool_threshold = spool_threshold
         #: times the transport was re-established by the retry layer
         self.reconnects = 0
         #: retry attempts spent across all requests
         self.retries_used = 0
+        #: cumulative frame bytes read off the socket (all replies)
+        self.bytes_received = 0
+        #: cumulative payload bytes that arrived via spool files
+        self.spool_bytes = 0
         self._rng = random.Random()
         self._ids = itertools.count(1)
         self._id_prefix = "c%08x" % self._rng.getrandbits(32)
@@ -178,6 +214,7 @@ class QueryClient:
                 if hello.get("type") != "hello":
                     raise ProtocolError(
                         "unexpected post-auth frame %r" % (hello,))
+            wire, spooling = self._negotiate_wire(sock, hello)
         except BaseException:
             sock.close()
             raise
@@ -187,6 +224,47 @@ class QueryClient:
         self.protocol = hello.get("protocol")
         #: catalog generation this session is pinned to
         self.generation = hello.get("generation")
+        #: reply encoding actually negotiated for this connection
+        self.wire = wire
+        #: True when the server accepted the spool fast path
+        self.spooling = spooling
+
+    def _negotiate_wire(self, sock, hello):
+        """Ask for the preferred reply encoding; (format, spooling).
+
+        Skipped entirely when the client wants the legacy JSON wire
+        with no spooling, and degraded silently to JSON against a
+        server whose hello does not advertise the preference — old
+        client against new server, and new client against old server,
+        both keep working.
+        """
+        wanted = self.wire_preference
+        formats = hello.get("wire_formats") or [WIRE_JSON]
+        if wanted not in formats:
+            wanted = WIRE_JSON
+        spool = self.spool_preference and bool(hello.get("spool"))
+        if wanted == WIRE_JSON and not spool:
+            return WIRE_JSON, False
+        request = {"type": "wire", "format": wanted, "spool": spool}
+        if self.spool_threshold is not None:
+            request["spool_threshold"] = int(self.spool_threshold)
+        send_frame(sock, request)
+        reply = recv_frame(sock, meter=self._meter)
+        if reply is None:
+            raise ConnectionLostError(
+                "server closed the connection during wire "
+                "negotiation")
+        if isinstance(reply, dict) and reply.get("type") == "error":
+            raise _error_for(reply)
+        if not isinstance(reply, dict) \
+                or reply.get("type") != "wire_ok":
+            raise ProtocolError(
+                "unexpected wire-negotiation reply %r" % (reply,))
+        return reply.get("format", WIRE_JSON), \
+            bool(reply.get("spool"))
+
+    def _meter(self, nbytes):
+        self.bytes_received += nbytes
 
     # ------------------------------------------------------------------
     def _next_id(self):
@@ -204,7 +282,7 @@ class QueryClient:
         """
         while True:
             try:
-                response = recv_frame(self._sock)
+                response = recv_frame(self._sock, meter=self._meter)
             except socket.timeout as exc:
                 raise ConnectionLostError(
                     "timed out after %.3gs awaiting the reply"
@@ -273,17 +351,39 @@ class QueryClient:
                     self.reconnects += 1
 
     def _result(self, request):
-        response = self._request(request)
-        if response.get("type") != "result":
-            raise ProtocolError("expected a result frame, got %r"
-                                % (response.get("type"),))
-        canonical = decode_value(response["payload"])
+        attempts = 0
+        while True:
+            response = self._request(request)
+            if response.get("type") != "result":
+                raise ProtocolError("expected a result frame, got %r"
+                                    % (response.get("type"),))
+            spool = response.get("payload_spool")
+            try:
+                if spool is not None:
+                    payload = read_spooled_payload(
+                        spool["path"],
+                        expected_bytes=spool.get("bytes"))
+                    self.spool_bytes += int(spool.get("bytes") or 0)
+                else:
+                    payload = response["payload"]
+                break
+            except SpoolError:
+                # the spool file vanished or tore under us; a resend
+                # re-ships the payload through a fresh file (or
+                # inline), so spend the retry budget on it
+                if attempts >= self.retries:
+                    raise
+                attempts += 1
+                self.retries_used += 1
+                self._backoff(attempts)
+        canonical = decode_value(payload)
         if self.verify and \
                 result_checksum(canonical) != response["checksum"]:
             raise ProtocolError(
                 "shipped payload does not match its sha1 checksum "
                 "(%s)" % response["checksum"])
-        return ClientReply(canonical, response)
+        return ClientReply(canonical, response,
+                           spooled=spool is not None)
 
     # ------------------------------------------------------------------
     # request types

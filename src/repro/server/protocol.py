@@ -1,15 +1,51 @@
-"""Wire protocol: length-prefixed JSON frames + a value codec.
+"""Wire protocol: length-prefixed frames + a value codec.
 
 Framing
 -------
 
-Every message is one **frame**: a 4-byte big-endian payload length
-followed by that many bytes of UTF-8 JSON.  Frames above
+Every message is one **frame**: a 4-byte big-endian length word
+followed by that many payload bytes.  With the top bit of the length
+word clear the payload is UTF-8 JSON; with it set the payload is a
+**binary columnar frame** (below).  Frames above
 :data:`MAX_FRAME_BYTES` are refused with a typed
 :class:`~repro.errors.ProtocolError` before any allocation, so a
-corrupt length prefix cannot balloon memory.  ``recv_frame`` returns
-``None`` on a clean EOF at a frame boundary (peer closed) and raises
-on a mid-frame truncation.
+corrupt length prefix cannot balloon memory (the cap is below 2**31,
+so the flag bit can never be mistaken for length).  ``recv_frame``
+returns ``None`` on a clean EOF at a frame boundary (peer closed) and
+raises on a mid-frame truncation.
+
+Binary columnar frames
+----------------------
+
+The base64-in-JSON array encoding taxes exactly the thing the flat
+BAT representation makes cheap — moving columns.  The binary frame
+(Arrow-IPC-shaped: one JSON header describing column buffers, then
+the raw buffers) ships every fixed-dtype ndarray as its raw
+little-endian bytes instead::
+
+    u32 BE  0x80000000 | payload_length
+    payload:
+        u32 BE  header_length
+        header  UTF-8 JSON {"msg": <message>, "buffers": [len, ...]}
+        pad to 8-byte alignment, then each buffer 8-aligned in order
+
+In the header's ``msg`` tree an array leaf is a ``{"__ndbuf__": i,
+"dtype": ..., "shape": ...}`` marker naming buffer ``i``; buffer
+offsets are implicit (sequential, 8-aligned), so the header does not
+depend on its own length.  Identical buffer bytes are deduplicated by
+content hash — two columns with equal bytes ship once and both
+markers name the same buffer.  Decoding resolves markers to read-only
+ndarray **views** over the received bytes (or over an ``mmap`` of a
+spooled payload file): zero copies on the reply path.  Whether a
+session speaks binary is negotiated per connection off the server's
+``hello`` frame (see :mod:`repro.server.server`); JSON-only clients
+never see a flagged frame.
+
+The same payload body, minus the outer length word, is what the
+server writes to a **spool file** for the local-client fast path
+(:func:`write_spooled_payload` / :func:`read_spooled_payload`) — the
+same shape :class:`~repro.monet.multiproc.MultiprocExecutor` uses to
+ship per-worker result files, lifted to the serving layer.
 
 Value codec
 -----------
@@ -30,19 +66,35 @@ Non-finite floats ride on Python's JSON ``NaN``/``Infinity`` literals
 """
 
 import base64
+import hashlib
 import json
+import mmap
+import os
 import struct
 
 import numpy as np
 
 from .. import faults
-from ..errors import FrameTooLargeError, ProtocolError
+from ..errors import FrameTooLargeError, ProtocolError, SpoolError
 from ..monet.mil import MILProgram, MILStmt, Var
 
 #: Refuse frames above this many payload bytes (2**28 = 256 MiB).
 MAX_FRAME_BYTES = 1 << 28
 
+#: Wire formats a connection can negotiate (hello-frame handshake).
+WIRE_JSON = "json"
+WIRE_BINARY = "binary"
+WIRE_FORMATS = (WIRE_JSON, WIRE_BINARY)
+
 _LENGTH = struct.Struct(">I")
+
+#: Top bit of the length word: the payload is a binary columnar frame.
+_BINARY_FLAG = 0x80000000
+
+_HEADER_LEN = struct.Struct(">I")
+
+#: Column buffers start (and stay) 8-byte aligned within the payload.
+_BUFFER_ALIGN = 8
 
 #: Chaos injection points of the wire (see :mod:`repro.faults`):
 #: ``send.reset`` raises/crashes before any bytes go out (connection
@@ -54,27 +106,43 @@ faults.declare("protocol.send.reset", "protocol.send.torn",
 
 #: Marker keys reserved by the codec; a plain dict containing any of
 #: them (or non-string keys) is encoded in the explicit pair-list form.
-_MARKERS = frozenset(("__nd__", "__ndo__", "__row__", "__ref__",
-                      "__bytes__", "__tuple__", "__dict__", "__var__"))
+_MARKERS = frozenset(("__nd__", "__ndo__", "__ndbuf__", "__row__",
+                      "__ref__", "__bytes__", "__tuple__", "__dict__",
+                      "__var__"))
 
 
 # ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
-def send_frame(sock, obj):
-    """Serialise ``obj`` as JSON and write one frame."""
-    body = json.dumps(obj, allow_nan=True,
-                      separators=(",", ":")).encode("utf-8")
+def _send_body(sock, body, flag=0):
+    """One frame on the wire, through the chaos injection points."""
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError("refusing to send %d-byte frame (max %d)"
                             % (len(body), MAX_FRAME_BYTES))
     faults.fire("protocol.send.reset")
     spec = faults.fire("protocol.send.torn")
     if spec is not None:
-        sock.sendall(_LENGTH.pack(len(body))
+        sock.sendall(_LENGTH.pack(flag | len(body))
                      + body[:int(len(body) * spec.fraction)])
         spec.conclude()
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+    sock.sendall(_LENGTH.pack(flag | len(body)) + body)
+
+
+def send_frame(sock, obj):
+    """Serialise ``obj`` as JSON and write one frame."""
+    body = json.dumps(obj, allow_nan=True,
+                      separators=(",", ":")).encode("utf-8")
+    _send_body(sock, body)
+
+
+def send_binary_frame(sock, obj):
+    """Write ``obj`` as one binary columnar frame.
+
+    Same chaos injection points (``protocol.send.reset`` /
+    ``protocol.send.torn``) and the same size cap as the JSON path —
+    the framing hardening does not fork per wire format.
+    """
+    _send_body(sock, encode_binary_message(obj), flag=_BINARY_FLAG)
 
 
 def _recv_exact(sock, nbytes):
@@ -89,20 +157,26 @@ def _recv_exact(sock, nbytes):
     return b"".join(chunks)
 
 
-def recv_frame(sock):
+def recv_frame(sock, meter=None):
     """Read one frame; ``None`` on clean EOF at a frame boundary.
 
-    An announced length above :data:`MAX_FRAME_BYTES` raises the typed
-    :class:`~repro.errors.FrameTooLargeError` (a ProtocolError
-    subclass) before any allocation; the server answers it with an
-    error frame before hanging up instead of silently dropping the
-    connection.
+    Handles both wire formats: a flagged length word parses the
+    payload as a binary columnar frame (array leaves come back as
+    read-only ndarray views over the received bytes), otherwise as
+    JSON.  An announced length above :data:`MAX_FRAME_BYTES` raises
+    the typed :class:`~repro.errors.FrameTooLargeError` (a
+    ProtocolError subclass) before any allocation; the server answers
+    it with an error frame before hanging up instead of silently
+    dropping the connection.  ``meter``, when given, is called with
+    the frame's total on-wire byte count (length word included).
     """
     faults.fire("protocol.recv.delay")
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
         return None
-    (length,) = _LENGTH.unpack(header)
+    (word,) = _LENGTH.unpack(header)
+    binary = bool(word & _BINARY_FLAG)
+    length = word & ~_BINARY_FLAG
     if length > MAX_FRAME_BYTES:
         raise FrameTooLargeError("refusing %d-byte frame (max %d)"
                                  % (length, MAX_FRAME_BYTES))
@@ -110,6 +184,10 @@ def recv_frame(sock):
     if body is None:
         raise ProtocolError("connection closed mid-frame "
                             "(%d bytes expected)" % length)
+    if meter is not None:
+        meter(_LENGTH.size + length)
+    if binary:
+        return decode_binary_message(body)
     try:
         return json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -119,8 +197,51 @@ def recv_frame(sock):
 # ----------------------------------------------------------------------
 # value codec
 # ----------------------------------------------------------------------
-def encode_value(value):
-    """Canonical shipped value -> JSON-safe structure."""
+class BufferSink:
+    """Collects the column buffers of one binary message.
+
+    ``add`` registers an array's raw little-endian bytes and returns
+    its ``__ndbuf__`` marker.  Buffers are deduplicated by content
+    hash — identical bytes (whatever their dtype or shape, which live
+    in the marker) are stored once and shared by every marker naming
+    them, the wire-side twin of the result cache's replica detection.
+    """
+
+    __slots__ = ("buffers", "nbytes", "dedup_hits", "_by_hash")
+
+    def __init__(self):
+        self.buffers = []               # memoryviews, in buffer order
+        self.nbytes = 0                 # unique buffer bytes collected
+        self.dedup_hits = 0             # markers that reused a buffer
+        self._by_hash = {}
+
+    def add(self, array):
+        data = np.ascontiguousarray(array)
+        if data.dtype.byteorder == ">":
+            data = np.ascontiguousarray(
+                data.astype(data.dtype.newbyteorder("<")))
+        view = memoryview(data).cast("B") if data.nbytes \
+            else memoryview(b"")
+        key = hashlib.sha1(view).digest()
+        index = self._by_hash.get(key)
+        if index is None:
+            index = len(self.buffers)
+            self._by_hash[key] = index
+            self.buffers.append(view)
+            self.nbytes += data.nbytes
+        else:
+            self.dedup_hits += 1
+        return {"__ndbuf__": index, "dtype": data.dtype.str,
+                "shape": list(data.shape)}
+
+
+def encode_value(value, sink=None):
+    """Canonical shipped value -> JSON-safe structure.
+
+    With a :class:`BufferSink`, fixed-dtype ndarrays leave the tree as
+    ``__ndbuf__`` markers (their bytes go to the sink, for a binary
+    frame or a spool file); without one they ride inline as base64.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, (np.bool_, np.integer, np.floating)):
@@ -131,26 +252,30 @@ def encode_value(value):
         return {"__bytes__": base64.b64encode(value).decode("ascii")}
     if isinstance(value, np.ndarray):
         if value.dtype == object:
-            return {"__ndo__": [encode_value(item)
+            return {"__ndo__": [encode_value(item, sink)
                                 for item in value.tolist()]}
+        if sink is not None:
+            return sink.add(value)
         data = np.ascontiguousarray(value)
         return {"__nd__": data.dtype.str,
                 "shape": list(data.shape),
                 "b64": base64.b64encode(data.tobytes()).decode("ascii")}
     if isinstance(value, tuple):
-        return {"__tuple__": [encode_value(item) for item in value]}
+        return {"__tuple__": [encode_value(item, sink)
+                              for item in value]}
     if isinstance(value, list):
-        return [encode_value(item) for item in value]
+        return [encode_value(item, sink) for item in value]
     if isinstance(value, dict):
         if all(isinstance(key, str) for key in value) \
                 and not (_MARKERS & set(value)):
-            return {key: encode_value(item)
+            return {key: encode_value(item, sink)
                     for key, item in value.items()}
-        return {"__dict__": [[encode_value(key), encode_value(item)]
+        return {"__dict__": [[encode_value(key, sink),
+                              encode_value(item, sink)]
                              for key, item in value.items()]}
     if hasattr(value, "names") and hasattr(value, "values"):
         # repro.moa.values.Row (duck-typed, like the checksum canon)
-        return {"__row__": [[name, encode_value(item)]
+        return {"__row__": [[name, encode_value(item, sink)]
                             for name, item in zip(value.names,
                                                   value.values)]}
     if hasattr(value, "class_name") and hasattr(value, "oid"):
@@ -161,12 +286,24 @@ def encode_value(value):
 
 
 def decode_value(obj):
-    """JSON structure -> canonical value (inverse of encode_value)."""
+    """JSON structure -> canonical value (inverse of encode_value).
+
+    Actual ndarrays pass through untouched: a binary frame resolves
+    its ``__ndbuf__`` markers to array views at receive time, so the
+    tree reaching this decoder mixes JSON structure with live arrays.
+    """
     if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
         return obj
     if isinstance(obj, list):
         return [decode_value(item) for item in obj]
     if isinstance(obj, dict):
+        if "__ndbuf__" in obj:
+            # only ever valid inside a binary frame, where the marker
+            # is resolved to its array before this decoder runs
+            raise ProtocolError("unresolved column-buffer marker "
+                                "outside a binary frame")
         if "__bytes__" in obj:
             return base64.b64decode(obj["__bytes__"])
         if "__nd__" in obj:
@@ -199,6 +336,173 @@ def decode_value(obj):
 
 def _hashable(key):
     return tuple(key) if isinstance(key, list) else key
+
+
+# ----------------------------------------------------------------------
+# binary columnar messages (frames + spool files)
+# ----------------------------------------------------------------------
+def _align(offset):
+    return (offset + _BUFFER_ALIGN - 1) & ~(_BUFFER_ALIGN - 1)
+
+
+def encode_binary_message(obj) -> bytes:
+    """``obj`` as a binary payload body (no outer length word)."""
+    sink = BufferSink()
+    header = json.dumps(
+        {"msg": encode_value(obj, sink=sink),
+         "buffers": [len(view) for view in sink.buffers]},
+        allow_nan=True, separators=(",", ":")).encode("utf-8")
+    parts = [_HEADER_LEN.pack(len(header)), header]
+    cursor = _HEADER_LEN.size + len(header)
+    for view in sink.buffers:
+        aligned = _align(cursor)
+        if aligned != cursor:
+            parts.append(b"\x00" * (aligned - cursor))
+        parts.append(view)
+        cursor = aligned + len(view)
+    return b"".join(parts)
+
+
+def _resolve_buffers(obj, buffers):
+    """Replace ``__ndbuf__`` markers with (read-only) array views."""
+    if isinstance(obj, dict):
+        if "__ndbuf__" in obj:
+            try:
+                view = buffers[obj["__ndbuf__"]]
+                dtype = np.dtype(obj["dtype"])
+                shape = tuple(obj["shape"])
+            except (IndexError, KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError("malformed column-buffer marker "
+                                    "%r" % (obj,)) from exc
+            array = np.frombuffer(view, dtype=dtype)
+            return array.reshape(shape)
+        return {key: _resolve_buffers(item, buffers)
+                for key, item in obj.items()}
+    if isinstance(obj, list):
+        return [_resolve_buffers(item, buffers) for item in obj]
+    return obj
+
+
+def decode_binary_message(payload):
+    """Inverse of :func:`encode_binary_message`.
+
+    ``payload`` may be ``bytes``, a ``memoryview``, or an ``mmap`` —
+    the resolved arrays are zero-copy read-only views into it, so the
+    caller's buffer must outlive them (numpy keeps a reference).
+    """
+    payload = memoryview(payload)
+    try:
+        if len(payload) < _HEADER_LEN.size:
+            raise ProtocolError("binary payload shorter than its "
+                                "header length word")
+        (header_len,) = _HEADER_LEN.unpack_from(payload, 0)
+        header_end = _HEADER_LEN.size + header_len
+        if header_end > len(payload):
+            raise ProtocolError("binary header (%d bytes) overruns "
+                                "the %d-byte payload"
+                                % (header_len, len(payload)))
+        header = json.loads(bytes(payload[_HEADER_LEN.size:header_end])
+                            .decode("utf-8"))
+        if not isinstance(header, dict) or "msg" not in header:
+            raise ProtocolError("malformed binary header")
+        lengths = header.get("buffers", [])
+        buffers = []
+        cursor = header_end
+        for nbytes in lengths:
+            start = _align(cursor)
+            cursor = start + int(nbytes)
+            if cursor > len(payload):
+                raise ProtocolError(
+                    "column buffer overruns the payload "
+                    "(%d bytes announced past offset %d, %d total)"
+                    % (nbytes, start, len(payload)))
+            buffers.append(payload[start:cursor])
+        return _resolve_buffers(header["msg"], buffers)
+    except (UnicodeDecodeError, ValueError, struct.error) as exc:
+        raise ProtocolError("undecodable binary frame: %s"
+                            % exc) from exc
+
+
+def payload_nbytes(value):
+    """Approximate resident bytes of a canonical value.
+
+    Exact for the dominant term (fixed-dtype array buffers); strings,
+    bytes, and structure count their obvious sizes.  Used for spool
+    thresholds, result-cache weighting, and the served-bytes counter —
+    all places where "how big is this column data" matters and a few
+    bytes of slack per node do not.
+    """
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return sum(payload_nbytes(item)
+                       for item in value.tolist()) + 8 * value.size
+        return int(value.nbytes)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(payload_nbytes(key) + payload_nbytes(item)
+                   for key, item in value.items()) + 8
+    if isinstance(value, (list, tuple)):
+        return sum(payload_nbytes(item) for item in value) + 8
+    if hasattr(value, "names") and hasattr(value, "values"):
+        return sum(payload_nbytes(name) + payload_nbytes(item)
+                   for name, item in zip(value.names, value.values))
+    return 8
+
+
+# ----------------------------------------------------------------------
+# spooled payloads (the local-client mmap fast path)
+# ----------------------------------------------------------------------
+def write_spooled_payload(path, value):
+    """Write ``value`` as a binary payload file; returns its size.
+
+    The file's bytes are exactly :func:`encode_binary_message` of the
+    value.  No staging rename: the path is only announced to the
+    client *after* this returns, and the file is transient (results,
+    not durable state), so a crash mid-write strands at worst an
+    unannounced partial file in the spool directory.
+    """
+    body = encode_binary_message(value)
+    with open(path, "wb") as handle:
+        handle.write(body)
+    return len(body)
+
+
+def read_spooled_payload(path, expected_bytes=None, unlink=True):
+    """mmap a spooled payload file back to its canonical value.
+
+    Array leaves are zero-copy views into the mapping (numpy keeps the
+    mmap alive).  ``unlink`` removes the file after a successful read
+    — on POSIX the mapping survives the unlink, so this is how the
+    transient file's lifetime is bounded to its one reader.  Any
+    failure (missing file, truncation, a length that contradicts
+    ``expected_bytes``) raises the retryable typed
+    :class:`~repro.errors.SpoolError`: resending the request re-ships
+    the payload through a fresh file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise SpoolError("cannot map spooled payload %s: %s"
+                         % (path, exc)) from exc
+    if expected_bytes is not None and len(mapped) != expected_bytes:
+        raise SpoolError("spooled payload %s is %d bytes, %d announced"
+                         % (path, len(mapped), expected_bytes))
+    try:
+        value = decode_binary_message(mapped)
+    except ProtocolError as exc:
+        raise SpoolError("spooled payload %s is corrupt: %s"
+                         % (path, exc)) from exc
+    if unlink:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass                  # best-effort: the server may sweep
+    return value
 
 
 # ----------------------------------------------------------------------

@@ -14,8 +14,19 @@ request type       response
 ``mil``            ``result`` ``{name: value}`` for the fetch list
 ``stats``          ``stats`` (latency percentiles, cache hit rates...)
 ``ping``           ``pong`` (generation echo, liveness)
+``wire``           ``wire_ok`` (reply-encoding / spool negotiation)
 ``close``          connection shut down cleanly
 ================  ====================================================
+
+The hello frame advertises ``wire_formats`` (``json`` and ``binary``)
+and whether a spool directory is configured; a ``wire`` request then
+switches the connection's *reply* encoding — requests stay JSON
+frames either way, and a client that never negotiates keeps the
+legacy all-JSON protocol byte-for-byte.  On the binary wire, result
+payloads ship as raw little-endian column buffers after a JSON
+header (see :mod:`repro.server.protocol`); with spooling negotiated,
+replies past the client's threshold ship as mmap'd files instead —
+the local-client fast path.
 
 Failures never tear the connection: any :class:`~repro.errors.
 ReproError` becomes an ``error`` frame ``{"error": <class name>,
@@ -43,6 +54,7 @@ Hardening knobs (all off by default):
 """
 
 import hmac
+import itertools
 import os
 import socket
 import threading
@@ -52,8 +64,15 @@ import weakref
 from .. import faults
 from ..errors import (AuthError, FrameTooLargeError, InjectedFaultError,
                       ProtocolError, QuotaExceededError, ReproError,
-                      ServerDrainingError, is_retryable)
-from .protocol import recv_frame, send_frame
+                      ServerDrainingError, WireFormatError, is_retryable)
+from .protocol import (WIRE_BINARY, WIRE_FORMATS, WIRE_JSON,
+                       encode_value, recv_frame, send_binary_frame,
+                       send_frame, write_spooled_payload)
+
+#: Payload bytes above which a spool-enabled connection receives its
+#: result as an mmap'd file instead of inline frame bytes (the client
+#: may negotiate its own threshold).
+DEFAULT_SPOOL_THRESHOLD = 64 * 1024
 
 
 def _error_frame(exc):
@@ -121,13 +140,22 @@ class QueryServer:
     """
 
     def __init__(self, service, host="127.0.0.1", port=0, backlog=64,
-                 auth_token=None, quota_rps=0.0, quota_burst=None):
+                 auth_token=None, quota_rps=0.0, quota_burst=None,
+                 spool_dir=None, spool_threshold=None):
         self.service = service
         self.host = host
         self.port = port
         self.backlog = backlog
         #: shared secret every connection must present (None = open)
         self.auth_token = auth_token
+        #: directory for the local-client result fast path: replies
+        #: past the threshold ship as mmap'd binary files instead of
+        #: inline frame bytes (None = spooling off; clients must still
+        #: opt in through the ``wire`` negotiation)
+        self.spool_dir = spool_dir
+        self.spool_threshold = DEFAULT_SPOOL_THRESHOLD \
+            if spool_threshold is None else int(spool_threshold)
+        self._spool_seq = itertools.count()
         #: sustained executable requests/second per connection
         #: (0 = unlimited); burst defaults to max(1, quota_rps)
         self.quota_rps = float(quota_rps or 0.0)
@@ -153,6 +181,8 @@ class QueryServer:
         return self._address
 
     def start(self):
+        if self.spool_dir is not None:
+            os.makedirs(self.spool_dir, exist_ok=True)
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((self.host, self.port))
@@ -250,11 +280,18 @@ class QueryServer:
             if burst is None:
                 burst = max(1.0, self.quota_rps)
             bucket = _TokenBucket(self.quota_rps, burst)
+        #: per-connection wire state, rewritten by ``wire`` requests;
+        #: every connection starts on the JSON wire, so clients that
+        #: never negotiate keep the legacy protocol byte-for-byte
+        wire = {"format": WIRE_JSON, "spool": False,
+                "spool_threshold": self.spool_threshold}
         try:
             send_frame(conn, {"type": "hello",
                               "protocol": PROTOCOL_VERSION,
                               "generation": session.generation,
-                              "procs": self.service.procs})
+                              "procs": self.service.procs,
+                              "wire_formats": sorted(WIRE_FORMATS),
+                              "spool": self.spool_dir is not None})
             while self._running:
                 try:
                     request = recv_frame(conn)
@@ -271,6 +308,18 @@ class QueryServer:
                 rtype = request.get("type")
                 if rtype == "close":
                     break
+                if rtype == "wire":
+                    # negotiation is handshake, not request/reply: it
+                    # answers before the reply fault points, like the
+                    # hello frame
+                    response = self._negotiate_wire(wire, request)
+                    if "id" in request:
+                        response["id"] = request["id"]
+                    try:
+                        self._send_response(conn, response, wire)
+                    except ProtocolError as exc:
+                        self._send_error(conn, exc, request)
+                    continue
                 response = self._respond(session, request, rtype,
                                          bucket)
                 if "id" in request:
@@ -284,7 +333,7 @@ class QueryServer:
                 except InjectedFaultError:
                     break             # connection reset before reply
                 try:
-                    send_frame(conn, response)
+                    self._send_response(conn, response, wire)
                 except ProtocolError as exc:
                     # an unshippable (oversized) result still answers
                     # with a typed error frame — never a torn socket
@@ -298,6 +347,75 @@ class QueryServer:
             except OSError:
                 pass
             conn.close()
+
+    def _negotiate_wire(self, wire, request):
+        """Handle a ``wire`` control request.
+
+        Switches the connection's reply encoding (``json`` stays the
+        default for clients that never send one) and opts into the
+        spooled-result fast path when the server has a spool
+        directory.  A format the server does not speak answers a
+        typed :class:`~repro.errors.WireFormatError` frame and leaves
+        the connection (and its current wire state) intact.
+        """
+        fmt = request.get("format", WIRE_BINARY)
+        if fmt not in WIRE_FORMATS:
+            return _error_frame(WireFormatError(
+                "unknown wire format %r (this server speaks %s)"
+                % (fmt, sorted(WIRE_FORMATS))))
+        threshold = request.get("spool_threshold")
+        if threshold is not None and (not isinstance(threshold, int)
+                                      or isinstance(threshold, bool)
+                                      or threshold < 0):
+            return _error_frame(WireFormatError(
+                "spool_threshold must be a non-negative integer, "
+                "got %r" % (threshold,)))
+        wire["format"] = fmt
+        wire["spool"] = bool(request.get("spool")) \
+            and self.spool_dir is not None
+        if threshold is not None:
+            wire["spool_threshold"] = threshold
+        return {"type": "wire_ok", "format": fmt,
+                "spool": wire["spool"],
+                "spool_threshold": wire["spool_threshold"]}
+
+    def _send_response(self, conn, response, wire):
+        """Ship one response in the connection's negotiated encoding.
+
+        ``result`` responses carry their payload as canonical values
+        (real ndarrays) straight from the service; this is the single
+        point where they meet the wire — base64-in-JSON for legacy
+        connections, raw column buffers for the binary wire, or an
+        mmap'd spool file for local clients past their threshold.
+        Everything else (errors, stats, pongs) is plain JSON data and
+        ships as a frame of the negotiated format.
+        """
+        payload_present = response.get("type") == "result" \
+            and "payload" in response
+        if payload_present and wire["spool"] \
+                and response.get("payload_bytes", 0) \
+                >= wire["spool_threshold"]:
+            spooled = dict(response)
+            payload = spooled.pop("payload")
+            path = os.path.join(
+                self.spool_dir, "reply-%d-%d.bin"
+                % (os.getpid(), next(self._spool_seq)))
+            try:
+                nbytes = write_spooled_payload(path, payload)
+            except OSError:
+                pass    # spool dir gone/full: fall through to inline
+            else:
+                spooled["payload_spool"] = {"path": path,
+                                            "bytes": nbytes}
+                send_frame(conn, spooled)
+                return
+        if wire["format"] == WIRE_BINARY:
+            send_binary_frame(conn, response)
+            return
+        if payload_present:
+            response = dict(response)
+            response["payload"] = encode_value(response["payload"])
+        send_frame(conn, response)
 
     def _respond(self, session, request, rtype, bucket):
         """Policy wrapper around :meth:`_handle`: drain + quota."""

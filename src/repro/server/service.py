@@ -46,8 +46,8 @@ from ..errors import (ProtocolError, ServerOverloadedError,
 from ..monet.buffer import BufferStats
 from ..monet.multiproc import MultiprocExecutor
 from ..monet.storage import as_backend, catalog_generation
-from .cache import LRUCache
-from .protocol import decode_program, encode_value
+from .cache import ResultCache
+from .protocol import decode_program, payload_nbytes
 
 #: Sliding-window size for latency percentiles.
 LATENCY_WINDOW = 4096
@@ -83,10 +83,17 @@ class QueryService:
         Worker processes per pool (per pinned generation).
     plan_cache_size:
         Per-worker LRU plan-cache capacity (``0`` disables).
-    result_cache_size:
-        Parent-side LRU result-cache capacity (``0`` — the default —
-        disables it; entries are keyed by canonical request **and**
-        generation, so a bump can never serve stale rows).
+    result_cache_bytes:
+        Parent-side **byte-weighted** result-cache budget (``0`` —
+        the default — disables it; entries are keyed by canonical
+        request **and** generation, so a bump can never serve stale
+        rows, and a retired generation's entries are dropped wholesale
+        when its last pinned session ends).  Identical column buffers
+        across cached results are deduplicated by content hash, so
+        replicated results share bytes instead of multiplying resident
+        weight.
+    result_cache_ttl:
+        Seconds a cached result stays servable (``None`` = no expiry).
     max_inflight / max_queue:
         Admission control: concurrent executing requests / bounded
         wait queue beyond them.
@@ -116,7 +123,8 @@ class QueryService:
     """
 
     def __init__(self, db_dir, procs=2, plan_cache_size=64,
-                 result_cache_size=0, max_inflight=8, max_queue=32,
+                 result_cache_bytes=0, result_cache_ttl=None,
+                 max_inflight=8, max_queue=32,
                  default_timeout=None, lock_timeout=None,
                  start_method=None, page_size=4096, crash_retries=1,
                  fault_plan=None, plan_budget=None):
@@ -134,7 +142,8 @@ class QueryService:
         self.plan_budget = plan_budget
         #: generation -> manifest-derived admission stats (bounded)
         self._admission_stats = {}
-        self.result_cache = LRUCache(result_cache_size)
+        self.result_cache = ResultCache(result_cache_bytes,
+                                        ttl_s=result_cache_ttl)
 
         self._pool_lock = threading.Lock()
         #: serialises executor construction only — never held while
@@ -154,7 +163,8 @@ class QueryService:
                           "timeouts": 0, "overloads": 0,
                           "result_cache_hits": 0, "crash_retries": 0,
                           "quota_rejections": 0, "auth_failures": 0,
-                          "drain_rejections": 0, "plan_rejections": 0}
+                          "drain_rejections": 0, "plan_rejections": 0,
+                          "result_bytes": 0}
         self._latencies = deque(maxlen=LATENCY_WINDOW)
         self._buffer = BufferStats()
         #: (generation, pid) -> latest cumulative plan-cache snapshot
@@ -162,7 +172,8 @@ class QueryService:
         #: rollup of snapshots whose worker died or whose pool retired
         #: (keeps totals cumulative while _plan_stats stays bounded to
         #: live workers)
-        self._plan_retired = {"hits": 0, "misses": 0, "evictions": 0}
+        self._plan_retired = {"hits": 0, "misses": 0, "evictions": 0,
+                              "invalidations": 0, "expirations": 0}
         self._seq = 0
         self._started = time.time()
 
@@ -229,6 +240,11 @@ class QueryService:
                     doomed = self._pools.pop(generation, None)
         if doomed is not None:
             doomed.executor.close()
+            # no session pins this generation any more and new sessions
+            # open at the current one: its cached results can never be
+            # requested again — return their bytes to the budget now
+            self.result_cache.invalidate(
+                lambda key: key[0] == generation)
 
     def pool_generations(self):
         with self._pool_lock:
@@ -357,10 +373,18 @@ class QueryService:
         cached = self.result_cache.get(full_key)
         if cached is not None:
             self._count("result_cache_hits")
-            response = dict(cached)
+            # a fresh structural copy per hit: mutating one served
+            # response can never leak into the cached entry or into
+            # any other response built from it
+            response = cached.response()
             response["result_cached"] = True
             response["service_ms"] = round(
                 (time.monotonic() - started) * 1000.0, 4)
+            # a hit is a served result too: requests stays the sum of
+            # results + refusals + errors whether or not the cache ran
+            self._count("results")
+            self._count("result_bytes",
+                        response.get("payload_bytes", 0))
             self._record_latency(started)
             return response
         self._admit(timeout)
@@ -374,21 +398,35 @@ class QueryService:
             if "plan_cache" in extra:
                 self._plan_stats[(outcome.generation, outcome.pid)] = \
                     extra["plan_cache"]
-        response = {
-            "type": "result",
-            "checksum": outcome.checksum,
-            "payload": encode_value(outcome.value()),
+        # the payload stays canonical (real ndarrays) here; the wire
+        # layer encodes it per connection — base64-in-JSON for legacy
+        # clients, raw column buffers for the binary wire
+        payload = outcome.value()
+        meta = {
             "elapsed_ms": round(outcome.elapsed_ms, 4),
             "generation": outcome.generation,
             "pid": outcome.pid,
             "plan_cached": extra.get("plan_cached"),
             "result_cached": False,
             "faults": int(outcome.stats.faults),
+            "payload_bytes": extra.get("result_bytes",
+                                       payload_nbytes(payload)),
         }
-        self.result_cache.put(full_key, dict(response))
+        entry = self.result_cache.put(full_key, outcome.checksum,
+                                      payload, meta)
+        if entry is not None:
+            # serve the interned form: the same isolation guarantee as
+            # a hit, and the reply shares the deduplicated buffers
+            response = entry.response()
+        else:
+            response = {"type": "result",
+                        "checksum": outcome.checksum,
+                        "payload": payload}
+            response.update(meta)
         response["service_ms"] = round(
             (time.monotonic() - started) * 1000.0, 4)
         self._count("results")
+        self._count("result_bytes", meta["payload_bytes"])
         self._record_latency(started)
         return response
 
@@ -477,9 +515,9 @@ class QueryService:
             plan = dict(self._plan_retired)
             plan["workers"] = len(self._plan_stats)
             for snapshot in self._plan_stats.values():
-                plan["hits"] += snapshot.get("hits", 0)
-                plan["misses"] += snapshot.get("misses", 0)
-                plan["evictions"] += snapshot.get("evictions", 0)
+                for name in ("hits", "misses", "evictions",
+                             "invalidations", "expirations"):
+                    plan[name] += snapshot.get(name, 0)
         lookups = plan["hits"] + plan["misses"]
         plan["hit_rate"] = round(plan["hits"] / lookups, 4) \
             if lookups else 0.0

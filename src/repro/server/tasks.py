@@ -20,15 +20,18 @@ generation bump falls out of the keying (new generation = new pool =
 cold cache, and any shared cache keyed this way misses).
 
 Each outcome ships ``extra = {"plan_cached": bool, "plan_cache":
-{hits, misses, evictions, size, capacity}}`` — the cumulative
-counters of *this worker's* cache — which the parent-side service
-aggregates into the ``stats`` response.
+{hits, misses, evictions, size, capacity}, "result_bytes": int}`` —
+the cumulative counters of *this worker's* cache plus the canonical
+byte weight of the result (what the wire/result-cache layers charge
+for it) — which the parent-side service aggregates into the
+``stats`` response.
 """
 
 from ..analysis.verify import (PlanBudget, catalog_stats_from_kernel,
                                check_program)
 from ..monet.multiproc import register_task_kind, ship_value
 from .cache import LRUCache
+from .protocol import payload_nbytes
 
 #: Default per-worker plan-cache capacity (overridable through the
 #: executor's ``worker_options={"plan_cache_size": N}``).
@@ -79,7 +82,8 @@ def _run_moa(ctx, task):
                           budget=budget)
         cache.put(key, compiled)
     value = db.run_compiled(compiled)
-    extra = {"plan_cached": hit, "plan_cache": cache.snapshot()}
+    extra = {"plan_cached": hit, "plan_cache": cache.snapshot(),
+             "result_bytes": payload_nbytes(value)}
     return ship_value(value), extra
 
 

@@ -133,6 +133,61 @@ def test_oversize_frame_answered_with_typed_error(server):
         assert client.ping() == client.generation    # server healthy
 
 
+def test_torn_binary_frame_is_detected_not_decoded():
+    import numpy as np
+
+    from repro.server import send_binary_frame
+    left, right = socket.socketpair()
+    try:
+        plan = faults.FaultPlan().arm("protocol.send.torn",
+                                      action="tear", fraction=0.5)
+        with faults.use(plan):
+            with pytest.raises(InjectedFaultError):
+                send_binary_frame(left, {"type": "result",
+                                         "payload":
+                                             np.arange(4096)})
+        left.close()
+        # half a binary frame is as undecodable as half a JSON one
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversize_binary_frame_answered_with_typed_error(server):
+    from repro.server import protocol as proto
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10.0)
+    try:
+        hello = recv_frame(sock)
+        assert "binary" in hello["wire_formats"]
+        # an oversize announcement with the binary flag bit set is
+        # refused before any allocation, same as the JSON path
+        word = proto._BINARY_FLAG | (MAX_FRAME_BYTES + 1)
+        sock.sendall(struct.pack(">I", word))
+        reply = recv_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["error"] == "FrameTooLargeError"
+        assert recv_frame(sock) is None
+    finally:
+        sock.close()
+    # a binary-negotiated client still round-trips fine afterwards
+    with _client(server, wire="binary") as client:
+        assert client.wire == "binary"
+        assert client.ping() == client.generation
+
+
+def test_binary_client_retries_through_reply_faults(
+        server, serial_checksums):
+    plan = faults.FaultPlan().arm("server.reply.reset", times=1)
+    with faults.use(plan):
+        with _client(server, wire="binary", retries=3,
+                     backoff_base=0.01) as client:
+            reply = client.tpcd(6)
+            assert reply.checksum == serial_checksums[6]
+            assert client.retries_used >= 1
+
+
 # ----------------------------------------------------------------------
 # client retry/backoff through reply-path faults
 # ----------------------------------------------------------------------
@@ -268,7 +323,7 @@ def test_service_resubmits_over_one_crash_transparently(
     plan = faults.FaultPlan().arm("multiproc.task.start",
                                   action="crash", skip=1)
     service = QueryService(db_dir, procs=1, fault_plan=plan,
-                           result_cache_size=0)
+                           result_cache_bytes=0)
     server = QueryServer(service)
     server.start()
     try:
@@ -289,7 +344,7 @@ def test_pool_stuck_respawning_degrades_typed(db_dir):
     plan = faults.FaultPlan().arm("multiproc.task.start",
                                   action="crash", times=None)
     service = QueryService(db_dir, procs=1, fault_plan=plan,
-                           result_cache_size=0)
+                           result_cache_bytes=0)
     server = QueryServer(service)
     server.start()
     try:

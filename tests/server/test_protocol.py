@@ -1,9 +1,11 @@
-"""Wire protocol units: framing, the value codec, the LRU cache.
+"""Wire protocol units: framing, the value codec, the caches.
 
 The codec contract under test is *checksum-exact round-tripping*: for
 every value the executor can ship, ``decode(json(encode(v)))`` must
 carry the same sha1 result checksum as ``v`` — that is what lets the
-client re-verify a served payload byte-for-byte.
+client re-verify a served payload byte-for-byte.  The binary columnar
+wire and the spool-file path are held to the identical contract: any
+encoding, any transport, same digest.
 """
 
 import json
@@ -13,13 +15,15 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import FrameTooLargeError, ProtocolError, SpoolError
 from repro.moa.values import Ref, Row
 from repro.monet.mil import MILProgram, Var
 from repro.monet.multiproc import result_checksum
-from repro.server import (LRUCache, decode_program, decode_value,
-                          encode_program, encode_value, recv_frame,
-                          send_frame)
+from repro.server import (LRUCache, ResultCache, decode_program,
+                          decode_value, encode_program, encode_value,
+                          payload_nbytes, read_spooled_payload,
+                          recv_frame, send_binary_frame, send_frame,
+                          write_spooled_payload)
 from repro.server import protocol as proto
 
 
@@ -128,6 +132,163 @@ def test_ndarray_roundtrip_is_bit_exact():
 
 
 # ----------------------------------------------------------------------
+# binary columnar frames
+# ----------------------------------------------------------------------
+#: Codec edge cases the binary wire must get right beyond the shared
+#: list: empty buffers, non-contiguous views, empty object arrays, and
+#: a plain dict colliding with the buffer-marker key.
+BINARY_EDGE_VALUES = [
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.float64).reshape(0, 3),
+    np.arange(20, dtype=np.float64)[::2],          # sliced: strided
+    np.arange(12, dtype=np.int32).reshape(3, 4).T,  # transposed view
+    np.asarray([], dtype=object),
+    {"__ndbuf__": "marker-collision"},
+    {"head": np.arange(4), "tail": np.arange(4)},   # dedup pair
+]
+
+BINARY_VALUES = CODEC_VALUES + BINARY_EDGE_VALUES
+
+
+@pytest.mark.parametrize("value", BINARY_VALUES,
+                         ids=[repr(v)[:40] for v in BINARY_VALUES])
+def test_binary_message_checksum_exact(value):
+    blob = proto.encode_binary_message(value)
+    decoded = decode_value(proto.decode_binary_message(blob))
+    assert result_checksum(decoded) == result_checksum(value)
+
+
+@pytest.mark.parametrize("value", BINARY_VALUES,
+                         ids=[repr(v)[:40] for v in BINARY_VALUES])
+def test_json_and_binary_wires_agree(value):
+    """The differential contract: both encodings of the same value
+    decode to the same sha1 digest — a client cannot tell (and need
+    not know) which wire served it."""
+    via_json = decode_value(json.loads(json.dumps(encode_value(value))))
+    via_binary = decode_value(proto.decode_binary_message(
+        proto.encode_binary_message(value)))
+    assert result_checksum(via_json) == result_checksum(via_binary)
+
+
+def test_binary_frame_socket_roundtrip_zero_copy():
+    left, right = socket.socketpair()
+    try:
+        message = {"type": "result",
+                   "payload": {"kind": "bat",
+                               "head": np.arange(1000),
+                               "tail": np.arange(1000) * 0.5},
+                   "checksum": "abc"}
+        metered = []
+        send_binary_frame(left, message)
+        received = recv_frame(right, meter=metered.append)
+        decoded = decode_value(received["payload"])
+        assert decoded["head"].tolist() == list(range(1000))
+        # zero-copy decode: the arrays are read-only views over the
+        # received bytes, not copies
+        assert not received["payload"]["head"].flags.writeable
+        assert metered and metered[0] > 2 * 8000    # both raw buffers
+    finally:
+        left.close()
+        right.close()
+
+
+def test_binary_buffers_are_content_deduplicated():
+    sink = proto.BufferSink()
+    array = np.arange(512, dtype=np.int64)
+    message = encode_value({"a": array, "b": array.copy(),
+                            "c": array * 2}, sink=sink)
+    assert len(sink.buffers) == 2           # a == b share, c differs
+    assert sink.dedup_hits == 1
+    assert message["a"]["__ndbuf__"] == message["b"]["__ndbuf__"]
+    assert message["c"]["__ndbuf__"] != message["a"]["__ndbuf__"]
+    # and the deduplicated message still decodes checksum-exact
+    blob = proto.encode_binary_message({"a": array, "b": array.copy()})
+    decoded = decode_value(proto.decode_binary_message(blob))
+    assert result_checksum(decoded) == result_checksum(
+        {"a": array, "b": array})
+
+
+def test_oversize_binary_frame_is_refused_before_allocation():
+    left, right = socket.socketpair()
+    try:
+        word = proto._BINARY_FLAG | (proto.MAX_FRAME_BYTES + 1)
+        left.sendall(word.to_bytes(4, "big"))
+        with pytest.raises(FrameTooLargeError):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_corrupt_binary_payloads_raise_typed():
+    # header length word overrunning the payload
+    with pytest.raises(ProtocolError):
+        proto.decode_binary_message(b"\x00\x00\xff\xff{}")
+    # announced buffer overrunning the payload
+    header = json.dumps({"msg": {"__ndbuf__": 0, "dtype": "<i8",
+                                 "shape": [100]},
+                         "buffers": [800]}).encode()
+    blob = len(header).to_bytes(4, "big") + header + b"\x00" * 16
+    with pytest.raises(ProtocolError):
+        proto.decode_binary_message(blob)
+    # not a header at all
+    with pytest.raises(ProtocolError):
+        proto.decode_binary_message(b"\x00\x00\x00\x04asdf")
+
+
+def test_unresolved_buffer_marker_rejected_in_json_context():
+    with pytest.raises(ProtocolError):
+        decode_value({"__ndbuf__": 0, "dtype": "<i8", "shape": [1]})
+
+
+def test_payload_nbytes_is_exact_for_array_buffers():
+    assert payload_nbytes(np.arange(100, dtype=np.int64)) == 800
+    assert payload_nbytes(np.empty(0)) == 0
+    assert payload_nbytes("abcd") == 4
+    assert payload_nbytes(b"xyz") == 3
+    weight = payload_nbytes({"kind": "bat", "head": np.arange(10),
+                             "tail": np.arange(10) * 2.0})
+    assert weight >= 160                    # dominated by the buffers
+
+
+# ----------------------------------------------------------------------
+# spooled payloads
+# ----------------------------------------------------------------------
+def test_spool_roundtrip_and_unlink(tmp_path):
+    path = tmp_path / "reply-0.bin"
+    value = {"kind": "bat", "head": np.arange(2048),
+             "tail": np.arange(2048) % 7}
+    nbytes = write_spooled_payload(path, value)
+    assert path.stat().st_size == nbytes
+    decoded = read_spooled_payload(path, expected_bytes=nbytes)
+    assert result_checksum(decode_value(decoded)) \
+        == result_checksum(value)
+    assert not decoded["head"].flags.writeable     # mmap view
+    assert not path.exists()                       # unlinked after read
+
+
+def test_spool_missing_file_raises_retryable_spool_error(tmp_path):
+    with pytest.raises(SpoolError):
+        read_spooled_payload(tmp_path / "vanished.bin")
+    from repro.errors import is_retryable
+    assert is_retryable(SpoolError) is True
+
+
+def test_spool_truncation_and_length_mismatch_raise_typed(tmp_path):
+    path = tmp_path / "reply-1.bin"
+    nbytes = write_spooled_payload(path, {"col": np.arange(1000)})
+    # announced length contradicts the file
+    with pytest.raises(SpoolError):
+        read_spooled_payload(path, expected_bytes=nbytes + 1,
+                             unlink=False)
+    # physically truncated file: the decode itself fails typed
+    with open(path, "r+b") as handle:
+        handle.truncate(nbytes // 2)
+    with pytest.raises(SpoolError):
+        read_spooled_payload(path)
+
+
+# ----------------------------------------------------------------------
 # MIL program codec
 # ----------------------------------------------------------------------
 def test_program_roundtrip():
@@ -185,6 +346,169 @@ def test_lru_invalidate_predicate():
     assert cache.get(("x", 2)) == "xx"
     assert cache.invalidate() == 2
     assert len(cache) == 0
+
+
+def test_lru_invalidate_counts_evictions_and_invalidations():
+    """Regression: invalidate() used to drop entries without touching
+    the counters, so generation-bump sweeps were invisible in the
+    server stats."""
+    cache = LRUCache(8)
+    for generation in (1, 2):
+        for name in ("x", "y"):
+            cache.put((name, generation), name)
+    assert cache.invalidate(lambda key: key[1] < 2) == 2
+    snap = cache.snapshot()
+    assert snap["evictions"] == 2
+    assert snap["invalidations"] == 2
+    cache.invalidate()
+    snap = cache.snapshot()
+    assert snap["evictions"] == 4
+    assert snap["invalidations"] == 4
+
+
+# ----------------------------------------------------------------------
+# the byte-weighted result cache
+# ----------------------------------------------------------------------
+def _bat(base, n=64):
+    return {"kind": "bat", "head": np.arange(n) + base,
+            "tail": (np.arange(n) + base) * 0.5}
+
+
+def test_result_cache_hit_roundtrip_and_counters():
+    cache = ResultCache(1 << 20)
+    value = _bat(0)
+    entry = cache.put((1, "q"), "sha", value, {"pid": 7})
+    assert entry is not None
+    hit = cache.get((1, "q"))
+    response = hit.response()
+    assert response["type"] == "result"
+    assert response["checksum"] == "sha"
+    assert response["pid"] == 7
+    assert result_checksum(response["payload"]) \
+        == result_checksum(value)
+    assert cache.get((1, "other")) is None
+    snap = cache.snapshot()
+    assert snap["hits"] == 1 and snap["misses"] == 1
+    assert 0 < snap["bytes"] <= snap["peak_bytes"] \
+        <= snap["budget_bytes"]
+
+
+def test_result_cache_responses_are_mutation_isolated():
+    """Regression for the serving-path shallow copy: the cached entry
+    and every served response used to share the same nested payload
+    structure, so one client mutating its reply corrupted everyone
+    else's."""
+    cache = ResultCache(1 << 20)
+    source = {"kind": "value", "value": [1, 2, 3], "cols": _bat(5)}
+    cache.put((1, "q"), "sha", source, {})
+    first = cache.get((1, "q")).response()
+    first["payload"]["value"].append("poison")
+    first["payload"].clear()
+    # the source value the service handed in is also out of reach
+    source["value"].append("poison")
+    second = cache.get((1, "q")).response()
+    assert second["payload"]["value"] == [1, 2, 3]
+    assert not second["payload"]["cols"]["head"].flags.writeable
+
+
+def test_result_cache_source_array_mutation_cannot_corrupt():
+    cache = ResultCache(1 << 20)
+    column = np.arange(32, dtype=np.int64)
+    cache.put((1, "q"), "sha", {"col": column}, {})
+    column[0] = -999
+    assert cache.get((1, "q")).response()["payload"]["col"][0] == 0
+
+
+def test_result_cache_byte_budget_is_a_hard_ceiling():
+    budget = 4096
+    cache = ResultCache(budget)
+    for index in range(16):
+        cache.put((1, "q%d" % index), "sha", _bat(index * 100), {})
+        assert cache.bytes <= budget
+    snap = cache.snapshot()
+    assert snap["evictions"] >= 1
+    assert snap["bytes"] <= budget and snap["peak_bytes"] <= budget
+    # a single value larger than the whole budget is never admitted
+    assert cache.put((1, "big"), "sha",
+                     {"col": np.zeros(budget, dtype=np.int64)},
+                     {}) is None
+    assert cache.get((1, "big")) is None
+    assert cache.snapshot()["bytes"] <= budget
+
+
+def test_result_cache_dedups_identical_buffers_across_entries():
+    cache = ResultCache(1 << 20)
+    column = np.arange(4096, dtype=np.int64)     # 32 KiB
+    cache.put((1, "a"), "s1", {"col": column}, {})
+    before = cache.bytes
+    cache.put((1, "b"), "s2", {"col": column.copy()}, {})
+    snap = cache.snapshot()
+    assert snap["size"] == 2
+    assert snap["unique_buffers"] == 1
+    assert snap["dedup_hits"] == 1
+    # the second replica charged only structural overhead, not 32 KiB
+    assert cache.bytes - before < 1024
+    # evicting one replica keeps the shared buffer alive for the other
+    assert cache.invalidate(lambda key: key[1] == "a") == 1
+    assert cache.get((1, "b")).response()["payload"]["col"][-1] == 4095
+    assert cache.snapshot()["unique_buffers"] == 1
+
+
+def test_result_cache_ttl_expires_lazily():
+    clock = [0.0]
+    cache = ResultCache(1 << 20, ttl_s=10.0, clock=lambda: clock[0])
+    cache.put((1, "q"), "sha", _bat(0), {})
+    clock[0] = 9.0
+    assert cache.get((1, "q")) is not None
+    clock[0] = 11.0
+    assert cache.get((1, "q")) is None
+    snap = cache.snapshot()
+    assert snap["expirations"] == 1
+    assert snap["bytes"] == 0           # expiry returned the bytes
+
+
+def test_result_cache_generation_invalidation():
+    cache = ResultCache(1 << 20)
+    cache.put((1, "q"), "s1", _bat(0), {})
+    cache.put((2, "q"), "s2", _bat(1), {})
+    dropped = cache.invalidate(lambda key: key[0] == 1)
+    assert dropped == 1
+    assert cache.get((1, "q")) is None
+    assert cache.get((2, "q")) is not None
+    snap = cache.snapshot()
+    assert snap["invalidations"] == 1
+
+
+def test_result_cache_zero_budget_disables():
+    cache = ResultCache(0)
+    assert cache.put((1, "q"), "sha", _bat(0), {}) is None
+    assert cache.get((1, "q")) is None
+    assert len(cache) == 0
+
+
+def test_result_cache_is_thread_safe_under_contention():
+    cache = ResultCache(64 * 1024)
+    errors = []
+
+    def hammer(seed):
+        try:
+            for index in range(150):
+                key = (seed, index % 10)
+                cache.put(key, "sha", _bat(index), {"t": seed})
+                entry = cache.get((seed, (index * 7) % 10))
+                if entry is not None:
+                    entry.response()
+        except Exception as exc:        # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert cache.bytes <= 64 * 1024
 
 
 def test_lru_is_thread_safe_under_contention():

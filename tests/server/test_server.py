@@ -46,7 +46,8 @@ def serial_checksums(db_dir):
 
 @pytest.fixture(scope="module")
 def server(db_dir):
-    service = QueryService(db_dir, procs=2, result_cache_size=16)
+    service = QueryService(db_dir, procs=2,
+                           result_cache_bytes=1 << 20)
     with QueryServer(service) as srv:
         yield srv
     service.close()
@@ -157,7 +158,7 @@ def test_four_concurrent_clients_full_query_set(server,
 def test_plan_cache_hits_are_observable(db_dir, serial_checksums):
     # a dedicated single-worker service: the second identical Moa text
     # must land on the same (only) worker and hit its plan cache
-    service = QueryService(db_dir, procs=1, result_cache_size=0)
+    service = QueryService(db_dir, procs=1, result_cache_bytes=0)
     with QueryServer(service) as srv:
         with _connect(srv) as client:
             text = QUERIES[3].texts()[0]
@@ -176,7 +177,8 @@ def test_plan_cache_hits_are_observable(db_dir, serial_checksums):
 
 
 def test_result_cache_short_circuits(db_dir, serial_checksums):
-    service = QueryService(db_dir, procs=1, result_cache_size=8)
+    service = QueryService(db_dir, procs=1,
+                           result_cache_bytes=1 << 20)
     with QueryServer(service) as srv:
         with _connect(srv) as client:
             first = client.tpcd(12)
@@ -189,6 +191,193 @@ def test_result_cache_short_circuits(db_dir, serial_checksums):
     service.close()
     assert stats["result_cache"]["hits"] == 1
     assert stats["counters"]["result_cache_hits"] == 1
+
+
+def test_result_cache_hits_cannot_be_corrupted_by_clients(db_dir):
+    """Regression for the serving-path shallow copy: every served
+    response used to share its nested payload with the cached entry,
+    so one caller mutating a reply poisoned later hits."""
+    service = QueryService(db_dir, procs=1,
+                           result_cache_bytes=1 << 20)
+    try:
+        with service.session() as session:
+            request = {"type": "tpcd", "number": 1}
+            first = session.execute(request)
+            expected = first["checksum"]
+            # trash the served structures in place
+            first["payload"].clear()
+            first.clear()
+            second = session.execute(request)
+            assert second["result_cached"] is True
+            assert second["checksum"] == expected
+            assert result_checksum(second["payload"]) == expected
+    finally:
+        service.close()
+
+
+def test_requests_equal_results_plus_errors_under_hits(db_dir):
+    """Regression: ``results`` was only counted on the cache-miss
+    path, so the counter identity broke as soon as the result cache
+    answered anything."""
+    service = QueryService(db_dir, procs=1,
+                           result_cache_bytes=1 << 20)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            for _ in range(3):
+                client.tpcd(6)
+            with pytest.raises(ServerError):
+                client.tpcd(999)
+            counters = client.stats()["counters"]
+    service.close()
+    assert counters["result_cache_hits"] == 2, counters
+    assert counters["requests"] == 4, counters
+    assert counters["requests"] \
+        == counters["results"] + counters["errors"], counters
+    assert counters["result_bytes"] > 0, counters
+
+
+def test_result_cache_stays_within_budget_and_invalidates(db_dir):
+    service = QueryService(db_dir, procs=1,
+                           result_cache_bytes=1 << 20)
+    with QueryServer(service) as srv:
+        with _connect(srv) as client:
+            for number in sorted(QUERIES):
+                client.tpcd(number)
+            snap = client.stats()["result_cache"]
+    service.close()
+    assert snap["size"] >= 1
+    assert snap["bytes"] <= snap["budget_bytes"]
+    assert snap["peak_bytes"] <= snap["budget_bytes"]
+
+
+# ----------------------------------------------------------------------
+# wire formats: negotiation, differential checksums, spool fast path
+# ----------------------------------------------------------------------
+def test_json_and_binary_wires_serve_identical_checksums(
+        server, serial_checksums):
+    host, port = server.address
+    with QueryClient(host, port, wire="json") as json_client, \
+            QueryClient(host, port, wire="binary") as bin_client:
+        assert json_client.wire == "json"
+        assert bin_client.wire == "binary"
+        for number in sorted(QUERIES):
+            json_reply = json_client.tpcd(number)
+            bin_reply = bin_client.tpcd(number)
+            assert json_reply.checksum == bin_reply.checksum \
+                == serial_checksums[number]
+        assert bin_client.bytes_received > 0
+        assert json_client.bytes_received > 0
+
+
+def test_binary_wire_ships_columns_smaller_than_json(server, db_dir):
+    """The point of the binary wire: a column-shipping MIL fetch costs
+    fewer reply bytes raw than base64-in-JSON (which inflates every
+    buffer by 4/3)."""
+    program = MILProgram()
+    window = program.emit("slice", [Var("Item_quantity"), 0, 4095])
+    program.emit("multiplex", [window, 1.0], fn="*", target="col")
+    host, port = server.address
+    with QueryClient(host, port, wire="json") as json_client, \
+            QueryClient(host, port, wire="binary") as bin_client:
+        json_reply = json_client.mil(program, ["col"])
+        json_bytes = json_client.bytes_received
+        bin_reply = bin_client.mil(program, ["col"])
+        bin_bytes = bin_client.bytes_received
+    assert bin_reply.checksum == json_reply.checksum
+    assert bin_bytes < json_bytes, (bin_bytes, json_bytes)
+
+
+def test_unknown_wire_format_answers_typed_and_survives(server):
+    from repro.server.protocol import recv_frame as _recv
+    from repro.server.protocol import send_frame as _send
+    host, port = server.address
+    with QueryClient(host, port, wire="json") as client:
+        _send(client._sock, {"type": "wire", "format": "capnproto"})
+        reply = _recv(client._sock)
+        assert reply["type"] == "error"
+        assert reply["error"] == "WireFormatError"
+        assert reply["retryable"] is False
+        # the connection (and its JSON wire state) survives
+        assert client.ping() == 1
+        _send(client._sock, {"type": "wire", "format": "binary",
+                             "spool_threshold": -3})
+        reply = _recv(client._sock)
+        assert reply["error"] == "WireFormatError"
+        assert client.ping() == 1
+
+
+def test_client_degrades_to_json_when_format_unavailable(server):
+    host, port = server.address
+    with QueryClient(host, port, wire="msgpack") as client:
+        assert client.wire == "json"
+        assert client.tpcd(6).checksum
+
+
+def test_spool_fast_path_ships_files_and_cleans_up(
+        db_dir, serial_checksums, tmp_path):
+    service = QueryService(db_dir, procs=1)
+    spool_dir = tmp_path / "spool"
+    server = QueryServer(service, spool_dir=str(spool_dir))
+    server.start()
+    try:
+        host, port = server.address
+        with QueryClient(host, port, spool=True,
+                         spool_threshold=0) as client:
+            assert client.spooling is True
+            for number in (1, 6, 12):
+                reply = client.tpcd(number)
+                assert reply.spooled is True
+                assert reply.checksum == serial_checksums[number]
+            assert client.spool_bytes > 0
+            # every spool file was unlinked after its one read
+            assert list(spool_dir.iterdir()) == []
+        # a client that does not opt in never sees a spooled reply
+        with QueryClient(host, port) as client:
+            assert client.spooling is False
+            assert client.tpcd(6).spooled is False
+    finally:
+        server.stop()
+        service.close()
+
+
+def test_spool_vanished_file_is_retried_via_spool_error(
+        db_dir, serial_checksums, tmp_path, monkeypatch):
+    """A spool file torn out from under the client surfaces as the
+    retryable SpoolError; the retry budget re-ships the payload."""
+    import repro.server.client as client_mod
+    from repro.errors import SpoolError
+    service = QueryService(db_dir, procs=1)
+    spool_dir = tmp_path / "spool"
+    server = QueryServer(service, spool_dir=str(spool_dir))
+    server.start()
+    try:
+        host, port = server.address
+        real_read = client_mod.read_spooled_payload
+        failures = {"left": 1}
+
+        def flaky_read(path, expected_bytes=None, unlink=True):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise SpoolError("spool file vanished (injected)")
+            return real_read(path, expected_bytes=expected_bytes,
+                             unlink=unlink)
+
+        monkeypatch.setattr(client_mod, "read_spooled_payload",
+                            flaky_read)
+        with QueryClient(host, port, spool=True, spool_threshold=0,
+                         retries=2, backoff_base=0.01) as client:
+            reply = client.tpcd(6)
+            assert reply.checksum == serial_checksums[6]
+            assert client.retries_used == 1
+        # without a retry budget the typed error surfaces
+        failures["left"] = 1
+        with QueryClient(host, port, spool=True,
+                         spool_threshold=0) as client:
+            with pytest.raises(SpoolError):
+                client.tpcd(6)
+    finally:
+        server.stop()
+        service.close()
 
 
 # ----------------------------------------------------------------------
@@ -380,7 +569,8 @@ def test_caches_stay_correct_while_workers_crash(rewritable_db,
     plan = faults.FaultPlan().arm("multiproc.task.start",
                                   action="crash", skip=3, times=1)
     service = QueryService(rewritable_db, procs=1, crash_retries=1,
-                           result_cache_size=16, fault_plan=plan)
+                           result_cache_bytes=1 << 20,
+                           fault_plan=plan)
     failures = []
     stop = threading.Event()
 
