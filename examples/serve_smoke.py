@@ -7,7 +7,13 @@ sha1 checksum against a serial execution computed independently in
 this process.  Single-statement queries are additionally issued as
 textual Moa requests a second time, so the server's per-worker plan
 cache demonstrably engages (the run fails if the stats response shows
-zero plan-cache hits).
+zero plan-cache hits).  Every query is also submitted a third time as
+**SQL text** over the socket (:mod:`repro.sql.suite`'s formulation),
+asserting the SQL front-end's served checksum equals the Moa path's —
+on both wire formats when the fleet is split — and one client checks
+that malformed SQL answers a typed ``SqlParseError`` frame and an
+unsupported construct a ``SqlUnsupportedError`` frame, with the
+connection surviving both.
 
 ``--wire`` picks the client wire format: ``json``, ``binary``, or
 ``both`` (default), which splits the client fleet between the two
@@ -34,8 +40,10 @@ import tempfile
 import threading
 import time
 
+from repro.errors import SqlParseError, SqlUnsupportedError
 from repro.monet.multiproc import result_checksum, ship_value
 from repro.server import QueryClient
+from repro.sql.suite import sql_text
 from repro.tpcd import (QUERIES, generate, load_tpcd, open_tpcd,
                         peek_tpcd_meta)
 
@@ -108,6 +116,9 @@ def client_pass(host, port, expected, failures, latencies, lock, tid,
                     # second lap as raw Moa text: same checksum, and
                     # repeated texts warm the per-worker plan cache
                     replies.append(client.moa(texts[0]))
+                # third lap as SQL text: the front-end must serve the
+                # very checksum the Moa path does, over this wire
+                replies.append(client.sql(sql_text(number)))
                 for reply in replies:
                     if reply.checksum != expected[number]:
                         raise AssertionError(
@@ -121,9 +132,33 @@ def client_pass(host, port, expected, failures, latencies, lock, tid,
                             "arrived inline" % (tid, number))
                     with lock:
                         latencies.append(reply.service_ms)
+            if tid == 0:
+                _check_sql_errors(client)
     except BaseException as exc:                # noqa: BLE001
         with lock:
             failures.append((tid, exc))
+
+
+def _check_sql_errors(client):
+    """Malformed and unsupported SQL must answer typed error frames
+    (re-raised client-side as the matching exception) and leave the
+    connection fully usable."""
+    try:
+        client.sql("select frum lineitem")
+    except SqlParseError:
+        pass
+    else:
+        raise AssertionError("malformed SQL did not raise a typed "
+                             "SqlParseError over the wire")
+    try:
+        client.sql("select rank() over (order by l_quantity) "
+                   "from lineitem")
+    except SqlUnsupportedError:
+        pass
+    else:
+        raise AssertionError("a window function did not raise a typed "
+                             "SqlUnsupportedError over the wire")
+    client.ping()           # the connection survived both errors
 
 
 def main(argv=None):

@@ -20,6 +20,12 @@ mechanically:
    must ``fsync`` before the rename, otherwise a crash can leave the
    rename durable while the bytes are not (the storage layer's
    write-temp discipline, enforced everywhere it is imitated).
+5. **SQL lowering totality** — the ``_LOWERS`` registry in
+   ``src/repro/sql/lower.py`` must cover exactly the node classes in
+   ``src/repro/sql/ast.py``'s ``NODE_CLASSES`` tuple, both ways: a
+   node the lowering does not dispatch is a construct the parser can
+   produce but the back half silently cannot handle (the mirror of
+   the MIL interpreter's ``_OPS`` totality assertion).
 
 ``run_selfcheck`` returns a list of findings (empty = clean tree);
 ``python -m repro.analysis --selfcheck`` exits non-zero on any.
@@ -234,6 +240,74 @@ def check_fsync_before_rename(root):
 
 
 # ----------------------------------------------------------------------
+# invariant 5: SQL lowering dispatch is total over the SQL AST
+# ----------------------------------------------------------------------
+SQL_AST_MODULE = os.path.join("src", "repro", "sql", "ast.py")
+SQL_LOWER_MODULE = os.path.join("src", "repro", "sql", "lower.py")
+
+
+def _sql_node_classes(root):
+    """Names listed in ``NODE_CLASSES`` in the SQL ast module."""
+    tree = _parse(os.path.join(root, SQL_AST_MODULE))
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "NODE_CLASSES"
+                for t in node.targets):
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                return set(elt.id for elt in node.value.elts
+                           if isinstance(elt, ast.Name)), node.lineno
+    return set(), 0
+
+
+def _sql_lowered_names(root):
+    """String keys of the ``_LOWERS`` registry in the lowering pass."""
+    tree = _parse(os.path.join(root, SQL_LOWER_MODULE))
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "_LOWERS"
+                for t in node.targets):
+            if isinstance(node.value, ast.Dict):
+                return set(key.value for key in node.value.keys
+                           if isinstance(key, ast.Constant)
+                           and isinstance(key.value, str)), node.lineno
+    return set(), 0
+
+
+def check_sql_lowering_totality(root):
+    if not os.path.isfile(os.path.join(root, SQL_AST_MODULE)):
+        return []
+    declared, ast_line = _sql_node_classes(root)
+    lowered, lower_line = _sql_lowered_names(root)
+    findings = []
+    if not declared:
+        findings.append(Finding(
+            "error", "sql-ast-untracked", None,
+            "%s declares no NODE_CLASSES tuple — the lowering "
+            "totality invariant has nothing to check against"
+            % SQL_AST_MODULE))
+    if not lowered:
+        findings.append(Finding(
+            "error", "sql-lowering-untracked", None,
+            "%s declares no _LOWERS registry — the lowering "
+            "totality invariant has nothing to check"
+            % SQL_LOWER_MODULE))
+    for name in sorted(declared - lowered):
+        findings.append(Finding(
+            "error", "sql-node-not-lowered", None,
+            "%s:%d lists SQL AST node %s in NODE_CLASSES but %s's "
+            "_LOWERS registry never dispatches it — the parser can "
+            "produce a construct the lowering cannot handle"
+            % (SQL_AST_MODULE, ast_line, name, SQL_LOWER_MODULE)))
+    for name in sorted(lowered - declared):
+        findings.append(Finding(
+            "error", "sql-lowering-orphan", None,
+            "%s:%d dispatches %r which %s's NODE_CLASSES does not "
+            "declare — dead dispatch entry or an unregistered node"
+            % (SQL_LOWER_MODULE, lower_line, name, SQL_AST_MODULE)))
+    return findings
+
+
+# ----------------------------------------------------------------------
 def run_selfcheck(root=None):
     """All invariant findings for the tree (empty list = clean)."""
     root = root or repo_root()
@@ -242,4 +316,5 @@ def run_selfcheck(root=None):
     findings += check_error_taxonomy(root)
     findings += check_bare_excepts(root)
     findings += check_fsync_before_rename(root)
+    findings += check_sql_lowering_totality(root)
     return findings

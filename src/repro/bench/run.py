@@ -20,7 +20,10 @@ plan with the static plan verifier (:mod:`repro.analysis.verify`) and
 records per-query verifier wall time and static row/byte/page bounds;
 the run hard-errors if any plan has a finding or if verification costs
 more than 5% of that query's median runtime (admission-time analysis
-must stay cheap).  ``--quick`` shrinks SF and repetitions for the smoke
+must stay cheap).  A ``sql`` section runs every query again through
+the SQL front-end (:mod:`repro.sql`) and records the prepared
+execution's median next to the Moa path's, hard-gating that the two
+paths' result checksums are byte-identical.  ``--quick`` shrinks SF and repetitions for the smoke
 test wired into the tier-1 suite (``tests/test_bench_smoke.py``), so
 the harness cannot silently rot between PRs.
 
@@ -910,6 +913,43 @@ def _wire_section(db_dir, procs, serial, rounds=WIRE_ROUNDS):
     return section
 
 
+def _sql_section(db, serial, reps):
+    """Per-query SQL-front-end latency vs the direct Moa plans.
+
+    Every reproduced TPC-D query also exists as SQL text
+    (:mod:`repro.sql.suite`); this section prepares each one (parse ->
+    bind -> lower, hole-free phases compiled once) and times the
+    prepared execution, next to the Moa path's median this run just
+    measured.  The gate is hard: the SQL path's result checksum must
+    be byte-identical to the serial Moa entry — a lowering that drifts
+    from the hand-written plans fails the bench run, not just a test.
+    """
+    from ..sql.runtime import prepare_sql
+    from ..sql.suite import sql_queries
+    section = {"queries": {}, "checksums_match": True}
+    for number, text in sorted(sql_queries().items()):
+        prepared = prepare_sql(db, text)
+        rows = prepared.run()
+        checksum = result_checksum(ship_value(rows))
+        expected = serial[str(number)]["checksum"]
+        if checksum != expected:
+            raise RuntimeError(
+                "SQL/Moa checksum divergence for Q%d: the SQL "
+                "front-end computed %s, the Moa path %s"
+                % (number, checksum, expected))
+        times = _times_ms(prepared.run, reps)
+        median = statistics.median(times)
+        moa_ms = float(serial[str(number)]["median_ms"])
+        section["queries"][str(number)] = {
+            "median_ms": round(median, 4),
+            "moa_ms": round(moa_ms, 4),
+            "overhead": round(median / max(moa_ms, 1e-9), 2),
+            "phases": len(prepared.lowered.phases),
+            "checksum": checksum,
+        }
+    return section
+
+
 def run(sf, reps, quick, out_path, db_dir=None, validate=False,
         seed=DEFAULT_SEED, workers_sweep=DEFAULT_WORKER_SWEEP,
         procs=0, serve_sweep=()):
@@ -984,6 +1024,7 @@ def run(sf, reps, quick, out_path, db_dir=None, validate=False,
         results["queries"][str(number)] = entry
 
     results["analysis"] = _analysis_section(db, results["queries"])
+    results["sql"] = _sql_section(db, results["queries"], reps)
 
     if procs and db_dir is not None:
         results["multiproc"] = _multiproc_section(

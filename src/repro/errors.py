@@ -203,6 +203,33 @@ class MappingError(MOAError):
     """Logical data does not match the schema during flattening."""
 
 
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL front-end."""
+
+
+class SqlParseError(SqlError):
+    """Syntax error in a SQL query text.  Carries the character
+    position of the offending token, rendered as line/column, exactly
+    like the MOA :class:`ParseError`."""
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = "%s (line %d, column %d)" % (message, line, col)
+        super().__init__(message)
+
+
+class SqlUnsupportedError(SqlError):
+    """The SQL parsed, but lies outside the supported subset (window
+    functions, outer joins, NULL semantics, ...) or does not bind
+    against the TPC-D catalog (unknown table/column, ambiguous name,
+    correlation shape the lowering cannot decorrelate).  Resubmitting
+    the identical text cannot succeed."""
+
+
 class TPCDError(ReproError):
     """Base class for errors in the TPC-D substrate."""
 
@@ -264,6 +291,9 @@ RETRYABLE = {
     "RewriteError": False,
     "EvaluationError": False,
     "MappingError": False,
+    "SqlError": False,
+    "SqlParseError": False,
+    "SqlUnsupportedError": False,
     "TPCDError": False,
     "DBGenError": False,
     "CostModelError": False,

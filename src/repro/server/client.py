@@ -395,6 +395,18 @@ class QueryClient:
             request["timeout"] = timeout
         return self._result(request)
 
+    def sql(self, query_text, timeout=None):
+        """Execute SQL text through the server's SQL front-end
+        (parse -> bind -> lower to the same MIL pipeline as ``moa``);
+        returns a :class:`ClientReply`.  Malformed text answers a
+        typed :class:`~repro.errors.SqlParseError`, an unsupported
+        construct a :class:`~repro.errors.SqlUnsupportedError` —
+        neither is retryable, and the connection survives both."""
+        request = {"type": "sql", "query": query_text}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._result(request)
+
     def tpcd(self, number, params=None, timeout=None):
         """Run TPC-D query ``number`` (optional param overrides)."""
         request = {"type": "tpcd", "number": int(number)}

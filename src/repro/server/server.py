@@ -10,6 +10,7 @@ frame out — over :mod:`repro.server.protocol` framing:
 request type       response
 ================  ====================================================
 ``moa``            ``result`` (rows/scalar + sha1 checksum)
+``sql``            ``result`` for SQL text (parse -> bind -> lower)
 ``tpcd``           ``result`` for the numbered TPC-D query
 ``mil``            ``result`` ``{name: value}`` for the fetch list
 ``stats``          ``stats`` (latency percentiles, cache hit rates...)
@@ -105,7 +106,7 @@ faults.declare("server.handle.delay", "server.reply.drop",
 #: Request types that execute work (and are subject to quotas and
 #: draining); ``ping``/``stats``/``close`` stay exempt so liveness
 #: checks keep answering under load and during drain.
-EXECUTABLE_TYPES = frozenset(("moa", "tpcd", "mil"))
+EXECUTABLE_TYPES = frozenset(("moa", "sql", "tpcd", "mil"))
 
 
 class _TokenBucket:

@@ -298,6 +298,12 @@ class QueryService:
                 raise ProtocolError("moa request needs a 'query' text")
             return ("moa", key, text), json.dumps(
                 ["moa", text], sort_keys=True)
+        if rtype == "sql":
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ProtocolError("sql request needs a 'query' text")
+            return ("sql", key, text), json.dumps(
+                ["sql", text], sort_keys=True)
         if rtype == "tpcd":
             from ..tpcd.queries import QUERIES
             number = request.get("number")

@@ -2,8 +2,8 @@
 
 This module is imported *inside every worker process* of the service's
 warm pools (via ``MultiprocExecutor(task_modules=
-("repro.server.tasks",))``), registering the ``moa`` task kind with
-the dispatcher's registry.  Keeping it out of
+("repro.server.tasks",))``), registering the ``moa`` and ``sql``
+task kinds with the dispatcher's registry.  Keeping it out of
 :mod:`repro.monet.multiproc` preserves the layering: the monet layer
 never imports the moa/server layers at module scope.
 
@@ -61,6 +61,37 @@ def _moa_warmup(ctx, task):
     ctx.db()
 
 
+def _run_sql(ctx, task):
+    """``sql`` tasks — ``("sql", key, sql_text)`` — run SQL text
+    through the front-end (parse -> bind -> lower -> the same
+    resolve/rewrite/verify/execute pipeline as ``moa``).  The worker's
+    plan cache holds the :class:`~repro.sql.runtime.PreparedSql`
+    (hole-free phases pre-compiled and budget-checked) under
+    ``("sql", text, generation)``, so the key space is disjoint from
+    the ``moa`` entries while sharing the same LRU capacity and
+    counters."""
+    _kind, _key, text = task
+    db = ctx.db()
+    cache = _plan_cache(ctx)
+    key = ("sql", text, ctx.generation)
+    prepared = cache.get(key)
+    hit = prepared is not None
+    if not hit:
+        from ..sql.runtime import prepare_sql
+        budget = _plan_budget(ctx)
+        catalog = catalog_stats_from_kernel(db.kernel) \
+            if budget is not None else None
+        # an over-budget or malformed query raises here, before the
+        # put: a rejected SQL plan never enters the cache either
+        prepared = prepare_sql(db, text, budget=budget,
+                               catalog=catalog)
+        cache.put(key, prepared)
+    value = prepared.run()
+    extra = {"plan_cached": hit, "plan_cache": cache.snapshot(),
+             "result_bytes": payload_nbytes(value)}
+    return ship_value(value), extra
+
+
 def _run_moa(ctx, task):
     _kind, _key, text = task
     db = ctx.db()
@@ -88,3 +119,4 @@ def _run_moa(ctx, task):
 
 
 register_task_kind("moa", _run_moa, warmup=_moa_warmup)
+register_task_kind("sql", _run_sql, warmup=_moa_warmup)

@@ -1,0 +1,398 @@
+"""AST of the SQL front-end (the TPC-H subset we lower to Moa).
+
+The shape mirrors :mod:`repro.moa.ast`: plain nodes, each rendering
+back to canonical (lower-case, fully parenthesised) SQL text via
+:meth:`Node.render`.  The parser's round-trip property is render
+*idempotence*: ``render(parse(render(parse(t)))) == render(parse(t))``
+for every accepted ``t`` — the first parse canonicalises (folds date
+arithmetic, desugars BETWEEN and explicit JOIN ... ON), later laps are
+stable.
+
+``NODE_CLASSES`` names every concrete node; the lowering pass in
+:mod:`repro.sql.lower` must handle each of them, an invariant asserted
+both at import time (like ``mil._OPS``) and statically by
+``analysis/selfcheck.py``.
+"""
+
+
+class Node:
+    """Abstract SQL syntax node."""
+
+    def render(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.render())
+
+    def children(self):
+        return ()
+
+
+# ----------------------------------------------------------------------
+# query structure
+# ----------------------------------------------------------------------
+class SelectStmt(Node):
+    """One SELECT statement (set operations are not in the subset)."""
+
+    __slots__ = ("items", "from_items", "where", "group_by", "having",
+                 "order_by", "limit")
+
+    def __init__(self, items, from_items, where=None, group_by=(),
+                 having=None, order_by=(), limit=None):
+        self.items = list(items)            # [SelectItem] or [Star()]
+        self.from_items = list(from_items)  # [TableRef | DerivedTable]
+        self.where = where                  # expr or None
+        self.group_by = list(group_by)      # [expr]
+        self.having = having                # expr or None
+        self.order_by = list(order_by)      # [(expr, descending: bool)]
+        self.limit = limit                  # int or None
+
+    def render(self):
+        parts = ["select %s" % ", ".join(i.render() for i in self.items)]
+        parts.append("from %s" % ", ".join(f.render()
+                                           for f in self.from_items))
+        if self.where is not None:
+            parts.append("where %s" % self.where.render())
+        if self.group_by:
+            parts.append("group by %s" % ", ".join(
+                e.render() for e in self.group_by))
+        if self.having is not None:
+            parts.append("having %s" % self.having.render())
+        if self.order_by:
+            parts.append("order by %s" % ", ".join(
+                "%s %s" % (e.render(), "desc" if d else "asc")
+                for e, d in self.order_by))
+        if self.limit is not None:
+            parts.append("limit %d" % self.limit)
+        return " ".join(parts)
+
+    def children(self):
+        out = list(self.items) + list(self.from_items)
+        if self.where is not None:
+            out.append(self.where)
+        out += self.group_by
+        if self.having is not None:
+            out.append(self.having)
+        out += [e for e, _d in self.order_by]
+        return tuple(out)
+
+
+class SelectItem(Node):
+    """One output column: ``expr [as alias]``."""
+
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr, alias=None):
+        self.expr = expr
+        self.alias = alias
+
+    def render(self):
+        if self.alias is None:
+            return self.expr.render()
+        return "%s as %s" % (self.expr.render(), self.alias)
+
+    def children(self):
+        return (self.expr,)
+
+
+class Star(Node):
+    """``*`` — as the whole select list, or as ``count(*)``'s arg."""
+
+    __slots__ = ()
+
+    def render(self):
+        return "*"
+
+
+class TableRef(Node):
+    """A base-table FROM item: ``lineitem`` or ``nation n1``."""
+
+    __slots__ = ("name", "alias")
+
+    def __init__(self, name, alias=None):
+        self.name = name
+        self.alias = alias or name
+
+    def render(self):
+        if self.alias == self.name:
+            return self.name
+        return "%s %s" % (self.name, self.alias)
+
+
+class DerivedTable(Node):
+    """A subquery FROM item: ``(select ...) alias``."""
+
+    __slots__ = ("select", "alias")
+
+    def __init__(self, select, alias):
+        self.select = select
+        self.alias = alias
+
+    def render(self):
+        return "(%s) %s" % (self.select.render(), self.alias)
+
+    def children(self):
+        return (self.select,)
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class ColumnRef(Node):
+    """``l_shipdate`` or ``n1.n_name``."""
+
+    __slots__ = ("table", "column")
+
+    def __init__(self, table, column):
+        self.table = table          # alias or None (unqualified)
+        self.column = column
+
+    def render(self):
+        if self.table is None:
+            return self.column
+        return "%s.%s" % (self.table, self.column)
+
+
+class NumberLit(Node):
+    """Integer or float literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def render(self):
+        return repr(self.value)
+
+
+class StringLit(Node):
+    """``'BUILDING'`` (doubled-quote escaping)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def render(self):
+        return "'%s'" % self.value.replace("'", "''")
+
+
+class DateLit(Node):
+    """``date '1994-01-01'``, stored as epoch days (the ``instant``
+    atom's representation).  Date +/- INTERVAL arithmetic is folded
+    into this node at parse time."""
+
+    __slots__ = ("days",)
+
+    def __init__(self, days):
+        self.days = int(days)
+
+    def render(self):
+        from ..monet.atoms import days_to_date
+        return "date '%s'" % days_to_date(self.days).isoformat()
+
+
+class BinExpr(Node):
+    """Infix binary expression."""
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("or", "and", "=", "<>", "<", "<=", ">", ">=",
+           "+", "-", "*", "/")
+
+    def __init__(self, op, left, right):
+        assert op in self.OPS, op
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def render(self):
+        return "(%s %s %s)" % (self.left.render(), self.op,
+                               self.right.render())
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class UnExpr(Node):
+    """``not e`` or unary ``- e``."""
+
+    __slots__ = ("op", "operand")
+
+    OPS = ("not", "-")
+
+    def __init__(self, op, operand):
+        assert op in self.OPS, op
+        self.op = op
+        self.operand = operand
+
+    def render(self):
+        return "(%s %s)" % (self.op, self.operand.render())
+
+    def children(self):
+        return (self.operand,)
+
+
+class FuncCall(Node):
+    """``sum(e)``, ``count(*)`` — the aggregate functions.  Anything
+    else is rejected by the lowering with a typed error."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = list(args)
+
+    def render(self):
+        return "%s(%s)" % (self.name,
+                           ", ".join(a.render() for a in self.args))
+
+    def children(self):
+        return tuple(self.args)
+
+
+class Extract(Node):
+    """``extract(year from e)`` (the only supported field)."""
+
+    __slots__ = ("field", "expr")
+
+    def __init__(self, field, expr):
+        self.field = field
+        self.expr = expr
+
+    def render(self):
+        return "extract(%s from %s)" % (self.field, self.expr.render())
+
+    def children(self):
+        return (self.expr,)
+
+
+class CaseExpr(Node):
+    """Searched case: ``case when c then v ... else e end``."""
+
+    __slots__ = ("whens", "else_")
+
+    def __init__(self, whens, else_=None):
+        self.whens = list(whens)    # [(cond, value)]
+        self.else_ = else_
+
+    def render(self):
+        body = " ".join("when %s then %s" % (c.render(), v.render())
+                        for c, v in self.whens)
+        tail = "" if self.else_ is None \
+            else " else %s" % self.else_.render()
+        return "case %s%s end" % (body, tail)
+
+    def children(self):
+        out = []
+        for cond, value in self.whens:
+            out += [cond, value]
+        if self.else_ is not None:
+            out.append(self.else_)
+        return tuple(out)
+
+
+class LikeExpr(Node):
+    """``e [not] like 'pattern'`` — patterns restricted to prefix /
+    suffix / containment shapes at lowering time."""
+
+    __slots__ = ("expr", "pattern", "negated")
+
+    def __init__(self, expr, pattern, negated=False):
+        self.expr = expr
+        self.pattern = pattern
+        self.negated = negated
+
+    def render(self):
+        return "(%s %slike '%s')" % (
+            self.expr.render(), "not " if self.negated else "",
+            self.pattern.replace("'", "''"))
+
+    def children(self):
+        return (self.expr,)
+
+
+class InList(Node):
+    """``e [not] in (lit, lit, ...)``."""
+
+    __slots__ = ("expr", "values", "negated")
+
+    def __init__(self, expr, values, negated=False):
+        self.expr = expr
+        self.values = list(values)  # literal nodes
+        self.negated = negated
+
+    def render(self):
+        return "(%s %sin (%s))" % (
+            self.expr.render(), "not " if self.negated else "",
+            ", ".join(v.render() for v in self.values))
+
+    def children(self):
+        return (self.expr, *self.values)
+
+
+class InSelect(Node):
+    """``e [not] in (select ...)`` — lowered to a (anti)semijoin."""
+
+    __slots__ = ("expr", "select", "negated")
+
+    def __init__(self, expr, select, negated=False):
+        self.expr = expr
+        self.select = select
+        self.negated = negated
+
+    def render(self):
+        return "(%s %sin (%s))" % (
+            self.expr.render(), "not " if self.negated else "",
+            self.select.render())
+
+    def children(self):
+        return (self.expr, self.select)
+
+
+class Exists(Node):
+    """``[not] exists (select ...)`` — lowered to a (anti)semijoin."""
+
+    __slots__ = ("select", "negated")
+
+    def __init__(self, select, negated=False):
+        self.select = select
+        self.negated = negated
+
+    def render(self):
+        return "(%sexists (%s))" % ("not " if self.negated else "",
+                                    self.select.render())
+
+    def children(self):
+        return (self.select,)
+
+
+class ScalarSelect(Node):
+    """A parenthesised subquery in expression position."""
+
+    __slots__ = ("select",)
+
+    def __init__(self, select):
+        self.select = select
+
+    def render(self):
+        return "(%s)" % self.select.render()
+
+    def children(self):
+        return (self.select,)
+
+
+#: Every concrete node class; the lowering pass must handle each one
+#: (asserted at import by repro.sql.lower and statically by the
+#: analysis selfcheck's SQL-totality lint).
+NODE_CLASSES = (SelectStmt, SelectItem, Star, TableRef, DerivedTable,
+                ColumnRef, NumberLit, StringLit, DateLit, BinExpr,
+                UnExpr, FuncCall, Extract, CaseExpr, LikeExpr, InList,
+                InSelect, Exists, ScalarSelect)
+
+
+def walk(node):
+    """Depth-first iterator over a subtree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

@@ -1,0 +1,218 @@
+"""Name resolution + type inference over the SQL AST.
+
+A :class:`Scope` maps FROM-clause aliases to catalog tables (or the
+pseudo-tables of derived subqueries) and chains to the enclosing
+query's scope, so correlated subqueries resolve outer columns the SQL
+way.  Everything that binds wrong — unknown table, unknown column,
+ambiguous unqualified name — is a :class:`~repro.errors.
+SqlUnsupportedError`: the text is syntactically fine but cannot mean
+anything against the TPC-D catalog, and resubmitting it cannot help.
+
+``kind_of`` infers the atom kind of an expression (``int`` / ``double``
+/ ``string`` / ``char`` / ``instant`` / ``bool`` / ``ref:<Class>``),
+which the lowering uses for literal typing (e.g. coercing a one-char
+string literal to the ``char`` atom when compared against a ``char``
+column) and for rejecting ill-typed comparisons before they reach the
+MOA type checker as an inscrutable error.
+"""
+
+from ..errors import SqlUnsupportedError
+from . import ast
+from .catalog import TABLES, Column
+
+
+class Binding:
+    """A resolved column: which FROM alias, which catalog column, and
+    whether it came from an enclosing (correlated) scope."""
+
+    __slots__ = ("alias", "column", "outer")
+
+    def __init__(self, alias, column, outer):
+        self.alias = alias
+        self.column = column
+        self.outer = outer
+
+
+class Scope:
+    """Alias → table mapping for one SELECT, chained to its parent."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.tables = {}        # alias -> Table (catalog or pseudo)
+
+    def add(self, alias, table):
+        if alias in self.tables:
+            raise SqlUnsupportedError(
+                "duplicate table alias %r in FROM" % alias)
+        self.tables[alias] = table
+
+    def add_table_ref(self, ref):
+        table = TABLES.get(ref.name)
+        if table is None:
+            raise SqlUnsupportedError(
+                "unknown table %r (TPC-D catalog has: %s)"
+                % (ref.name, ", ".join(sorted(TABLES))))
+        self.add(ref.alias, table)
+        return table
+
+    # ------------------------------------------------------------------
+    def resolve(self, column_ref):
+        """Resolve a :class:`~repro.sql.ast.ColumnRef` to a Binding."""
+        scope, outer = self, False
+        while scope is not None:
+            binding = scope._resolve_local(column_ref, outer)
+            if binding is not None:
+                return binding
+            scope, outer = scope.parent, True
+        if column_ref.table is not None:
+            raise SqlUnsupportedError(
+                "unknown table alias %r" % column_ref.table)
+        raise SqlUnsupportedError(
+            "unknown column %r" % column_ref.column)
+
+    def _resolve_local(self, column_ref, outer):
+        if column_ref.table is not None:
+            table = self.tables.get(column_ref.table)
+            if table is None:
+                return None
+            column = table.columns.get(column_ref.column)
+            if column is None:
+                raise SqlUnsupportedError(
+                    "table %r has no column %r"
+                    % (column_ref.table, column_ref.column))
+            return Binding(column_ref.table, column, outer)
+        hits = [(alias, table.columns[column_ref.column])
+                for alias, table in self.tables.items()
+                if column_ref.column in table.columns]
+        if len(hits) > 1:
+            raise SqlUnsupportedError(
+                "ambiguous column %r (in %s)"
+                % (column_ref.column,
+                   " and ".join(sorted(a for a, _c in hits))))
+        if hits:
+            alias, column = hits[0]
+            return Binding(alias, column, outer)
+        return None
+
+
+def derived_table(select, scope):
+    """Pseudo-table for ``(select ...) alias``: one column per output
+    item, kind inferred in the subquery's own scope."""
+    inner = scope_for(select, parent=scope.parent)
+    columns = []
+    for item in select.items:
+        if isinstance(item, ast.Star):
+            raise SqlUnsupportedError(
+                "derived tables need explicit output columns, not *")
+        name = output_name(item)
+        columns.append((name, (name,), kind_of(item.expr, inner)))
+    table = object.__new__(_PseudoTable)
+    table.columns = {n: Column(n, p, k) for n, p, k in columns}
+    return table
+
+
+class _PseudoTable:
+    """Column map of a derived table; has no base extent of its own."""
+
+    __slots__ = ("columns",)
+    is_pure_extent = False
+    extent_class = None
+    unnest_attr = None
+
+
+def output_name(item):
+    """The output-column name of a select item (alias, or the column
+    name for a bare column reference)."""
+    if item.alias is not None:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.column
+    raise SqlUnsupportedError(
+        "select item %r needs an alias" % item.expr.render())
+
+
+def scope_for(select, parent=None):
+    """Build the scope of one SELECT from its FROM list."""
+    scope = Scope(parent)
+    for from_item in select.from_items:
+        if isinstance(from_item, ast.TableRef):
+            scope.add_table_ref(from_item)
+        else:
+            scope.add(from_item.alias,
+                      derived_table(from_item.select, scope))
+    return scope
+
+
+# ----------------------------------------------------------------------
+# type inference
+# ----------------------------------------------------------------------
+_NUMERIC = ("int", "double")
+
+
+def kind_of(expr, scope):
+    """Atom kind of an expression under a scope (see module doc)."""
+    if isinstance(expr, ast.ColumnRef):
+        return scope.resolve(expr).column.kind
+    if isinstance(expr, ast.NumberLit):
+        return "int" if isinstance(expr.value, int) else "double"
+    if isinstance(expr, ast.StringLit):
+        return "string"
+    if isinstance(expr, ast.DateLit):
+        return "instant"
+    if isinstance(expr, ast.BinExpr):
+        if expr.op in ("and", "or") or expr.op in (
+                "=", "<>", "<", "<=", ">", ">="):
+            return "bool"
+        left = kind_of(expr.left, scope)
+        right = kind_of(expr.right, scope)
+        if expr.op == "/" or "double" in (left, right):
+            return "double"
+        return "int"
+    if isinstance(expr, ast.UnExpr):
+        return "bool" if expr.op == "not" else kind_of(expr.operand,
+                                                       scope)
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name
+        if name == "count":
+            return "int"
+        if name == "avg":
+            return "double"
+        if name in ("sum", "min", "max"):
+            if len(expr.args) != 1 or isinstance(expr.args[0], ast.Star):
+                raise SqlUnsupportedError(
+                    "%s() takes exactly one expression" % name)
+            return kind_of(expr.args[0], scope)
+        raise SqlUnsupportedError("unknown function %r" % name)
+    if isinstance(expr, ast.Extract):
+        return "int"
+    if isinstance(expr, ast.CaseExpr):
+        return kind_of(expr.whens[0][1], scope)
+    if isinstance(expr, (ast.LikeExpr, ast.InList, ast.InSelect,
+                         ast.Exists)):
+        return "bool"
+    if isinstance(expr, ast.ScalarSelect):
+        select = expr.select
+        if len(select.items) != 1 \
+                or isinstance(select.items[0], ast.Star):
+            raise SqlUnsupportedError(
+                "scalar subquery must produce exactly one column")
+        inner = scope_for(select, parent=scope)
+        return kind_of(select.items[0].expr, inner)
+    raise SqlUnsupportedError(
+        "cannot type expression %r" % expr.render())
+
+
+def check_comparable(op, left_kind, right_kind, context):
+    """Comparison type check, with the char/string coercion rule."""
+    pair = {left_kind, right_kind}
+    if pair <= {"int", "double"}:
+        return
+    if left_kind == right_kind:
+        return
+    if pair == {"char", "string"}:
+        return                      # lowering coerces the literal
+    if pair <= {"int", "instant"}:
+        return                      # epoch-day arithmetic results
+    raise SqlUnsupportedError(
+        "type mismatch in %s: %s %s %s"
+        % (context, left_kind, op, right_kind))

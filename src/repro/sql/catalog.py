@@ -1,0 +1,151 @@
+"""The relational face of the TPC-D object schema.
+
+The binder resolves SQL table/column names against this catalog; the
+lowering pass turns each column into a navigation *path* over the MOA
+schema of :mod:`repro.tpcd.schema` (Figure 1 of the paper).
+
+A path is a tuple of steps applied to the extent element: a ``str``
+step is an ``Attr`` navigation, an ``int`` step is a 1-based ``Pos``
+tuple access.  The empty path is the element itself — that is how the
+relational *keys* appear: ``o_orderkey`` IS the Order object, so its
+kind is ``ref:Order`` with path ``()``, and foreign keys like
+``l_orderkey`` are the ``order`` attribute with kind ``ref:Order``.
+This makes foreign-key joins (``l_orderkey = o_orderkey``) collapse
+into pointer navigation instead of value joins, which is exactly the
+flattening the paper sells.
+
+PARTSUPP has no extent of its own: the object schema nests it as
+``Supplier.supplies`` (a set of ``<part, cost, available>`` tuples),
+so its base set is ``unnest[supplies](Supplier)`` whose element is the
+pair ``<Supplier, <part, cost, available>>``.
+
+Column kinds: ``int`` / ``double`` / ``string`` / ``char`` /
+``instant`` / ``ref:<Class>``.
+"""
+
+from ..moa import ast as moa_ast
+
+
+class Column:
+    __slots__ = ("name", "path", "kind")
+
+    def __init__(self, name, path, kind):
+        self.name = name
+        self.path = tuple(path)
+        self.kind = kind
+
+    @property
+    def is_ref(self):
+        return self.kind.startswith("ref:")
+
+    @property
+    def ref_class(self):
+        return self.kind[4:] if self.is_ref else None
+
+
+class Table:
+    """One relational table: a base MOA set expression plus a column
+    name → navigation-path map."""
+
+    __slots__ = ("name", "extent_class", "unnest_attr", "columns")
+
+    def __init__(self, name, extent_class, columns, unnest_attr=None):
+        self.name = name
+        self.extent_class = extent_class
+        self.unnest_attr = unnest_attr
+        self.columns = {}
+        for col_name, path, kind in columns:
+            self.columns[col_name] = Column(col_name, path, kind)
+
+    def base_set(self):
+        """A fresh MOA set expression producing this table."""
+        extent = moa_ast.Extent(self.extent_class)
+        if self.unnest_attr is None:
+            return extent
+        return moa_ast.Unnest(extent, self.unnest_attr)
+
+    @property
+    def is_pure_extent(self):
+        return self.unnest_attr is None
+
+
+def _table(name, extent_class, columns, unnest_attr=None):
+    return Table(name, extent_class, columns, unnest_attr)
+
+
+TABLES = {
+    "region": _table("region", "Region", [
+        ("r_regionkey", (), "ref:Region"),
+        ("r_name", ("name",), "string"),
+        ("r_comment", ("comment",), "string"),
+    ]),
+    "nation": _table("nation", "Nation", [
+        ("n_nationkey", (), "ref:Nation"),
+        ("n_name", ("name",), "string"),
+        ("n_regionkey", ("region",), "ref:Region"),
+    ]),
+    "part": _table("part", "Part", [
+        ("p_partkey", (), "ref:Part"),
+        ("p_name", ("name",), "string"),
+        ("p_mfgr", ("manufacturer",), "string"),
+        ("p_brand", ("brand",), "string"),
+        ("p_type", ("type",), "string"),
+        ("p_size", ("size",), "int"),
+        ("p_container", ("container",), "string"),
+        ("p_retailprice", ("retailPrice",), "double"),
+    ]),
+    "supplier": _table("supplier", "Supplier", [
+        ("s_suppkey", (), "ref:Supplier"),
+        ("s_name", ("name",), "string"),
+        ("s_address", ("address",), "string"),
+        ("s_phone", ("phone",), "string"),
+        ("s_acctbal", ("acctbal",), "double"),
+        ("s_nationkey", ("nation",), "ref:Nation"),
+    ]),
+    "partsupp": _table("partsupp", "Supplier", [
+        ("ps_suppkey", (1,), "ref:Supplier"),
+        ("ps_partkey", (2, "part"), "ref:Part"),
+        ("ps_supplycost", (2, "cost"), "double"),
+        ("ps_availqty", (2, "available"), "int"),
+    ], unnest_attr="supplies"),
+    "customer": _table("customer", "Customer", [
+        ("c_custkey", (), "ref:Customer"),
+        ("c_name", ("name",), "string"),
+        ("c_address", ("address",), "string"),
+        ("c_phone", ("phone",), "string"),
+        ("c_acctbal", ("acctbal",), "double"),
+        ("c_nationkey", ("nation",), "ref:Nation"),
+        ("c_mktsegment", ("mktsegment",), "string"),
+    ]),
+    "orders": _table("orders", "Order", [
+        ("o_orderkey", (), "ref:Order"),
+        ("o_custkey", ("cust",), "ref:Customer"),
+        ("o_orderstatus", ("status",), "char"),
+        ("o_totalprice", ("totalprice",), "double"),
+        ("o_orderdate", ("orderdate",), "instant"),
+        ("o_orderpriority", ("orderpriority",), "string"),
+        ("o_clerk", ("clerk",), "string"),
+        ("o_shippriority", ("shippriority",), "string"),
+    ]),
+    "lineitem": _table("lineitem", "Item", [
+        ("l_orderkey", ("order",), "ref:Order"),
+        ("l_partkey", ("part",), "ref:Part"),
+        ("l_suppkey", ("supplier",), "ref:Supplier"),
+        ("l_quantity", ("quantity",), "int"),
+        ("l_extendedprice", ("extendedprice",), "double"),
+        ("l_discount", ("discount",), "double"),
+        ("l_tax", ("tax",), "double"),
+        ("l_returnflag", ("returnflag",), "char"),
+        ("l_linestatus", ("linestatus",), "char"),
+        ("l_shipdate", ("shipdate",), "instant"),
+        ("l_commitdate", ("commitdate",), "instant"),
+        ("l_receiptdate", ("receiptdate",), "instant"),
+        ("l_shipinstruct", ("shipinstruct",), "string"),
+        ("l_shipmode", ("shipmode",), "string"),
+    ]),
+}
+
+#: class name -> table whose rows are that class's extent (partsupp is
+#: not root of any class — its base is an unnest)
+EXTENT_TABLES = {t.extent_class: t for t in TABLES.values()
+                 if t.is_pure_extent}

@@ -1,0 +1,531 @@
+"""Tokenizer + recursive-descent parser for the SQL subset.
+
+Mirrors the structure of :mod:`repro.moa.parser`: a verbose token
+regex, a token stream with position tracking, and one method per
+grammar production.  Two error channels, both typed:
+
+* :class:`~repro.errors.SqlParseError` — the text is not syntactically
+  in the grammar (carries the character position, rendered line/col);
+* :class:`~repro.errors.SqlUnsupportedError` — the construct is
+  recognised SQL but outside the supported subset (window functions,
+  outer joins, DISTINCT, set operations, IS NULL, simple CASE).
+
+Canonicalisations applied while parsing (render is idempotent over
+them): ``BETWEEN a AND b`` desugars to two comparisons, explicit
+``JOIN ... ON`` folds into the FROM list + WHERE conjuncts, and
+``date`` +/- ``interval`` arithmetic over literals folds into a single
+:class:`~repro.sql.ast.DateLit`.
+"""
+
+import re
+
+from ..errors import SqlParseError, SqlUnsupportedError
+from ..monet.atoms import date_to_days, days_to_date
+from . import ast
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|\|\||[=<>+\-*/])
+  | (?P<sym>[(),.])
+""", re.VERBOSE)
+
+#: constructs we recognise and refuse with a typed error
+_UNSUPPORTED_KEYWORDS = {
+    "union": "set operations (UNION/INTERSECT/EXCEPT)",
+    "intersect": "set operations (UNION/INTERSECT/EXCEPT)",
+    "except": "set operations (UNION/INTERSECT/EXCEPT)",
+    "distinct": "SELECT DISTINCT / aggregate DISTINCT",
+    "over": "window functions (OVER)",
+    "null": "NULL literals / IS NULL (the catalog has no NULLs)",
+    "is": "IS [NOT] NULL (the catalog has no NULLs)",
+}
+
+_AGG_NAMES = ("sum", "count", "avg", "min", "max")
+
+_CLAUSE_STOPPERS = frozenset((
+    "from", "where", "group", "having", "order", "limit", "on",
+    "join", "inner", "left", "right", "full", "cross", "union",
+    "intersect", "except", "and", "or", "not", "then", "else", "when",
+    "end", "asc", "desc", "in", "between", "like", "exists", "is",
+    "by", "as", "distinct", "over"))
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind, text, position):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self):
+        return "%s(%r)" % (self.kind, self.text)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlParseError(
+                "unexpected character %r" % text[position],
+                position, text)
+        kind = match.lastgroup
+        if kind != "ws":
+            word = match.group()
+            if kind == "ident":
+                word = word.lower()
+            tokens.append(_Token(kind, word, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Interval:
+    """Parsed ``interval 'n' unit`` — folded into date literals during
+    additive parsing, never part of the AST."""
+
+    __slots__ = ("months", "days")
+
+    def __init__(self, months, days):
+        self.months = months
+        self.days = days
+
+
+def _shift_date(days, interval, sign):
+    date = days_to_date(days)
+    months = date.year * 12 + (date.month - 1) \
+        + sign * interval.months
+    year, month = divmod(months, 12)
+    day = min(date.day, _month_len(year, month + 1))
+    shifted = date.replace(year=year, month=month + 1, day=day)
+    return date_to_days(shifted) + sign * interval.days
+
+
+def _month_len(year, month):
+    if month == 2:
+        leap = year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+        return 29 if leap else 28
+    return 30 if month in (4, 6, 9, 11) else 31
+
+
+class Parser:
+    """Recursive-descent parser over the SQL token stream."""
+
+    def __init__(self, text):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------
+    def peek(self, offset=0):
+        return self.tokens[min(self.index + offset,
+                               len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, text):
+        token = self.next()
+        if token.text != text:
+            raise SqlParseError(
+                "expected %r, found %r" % (text, token.text),
+                token.position, self.text)
+        return token
+
+    def at(self, text):
+        return self.peek().text == text
+
+    def at_keyword(self, *words):
+        token = self.peek()
+        return token.kind == "ident" and token.text in words
+
+    def accept(self, text):
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def error(self, message):
+        token = self.peek()
+        raise SqlParseError(message + " (found %r)" % token.text,
+                            token.position, self.text)
+
+    def unsupported(self, what):
+        raise SqlUnsupportedError("unsupported SQL: %s" % what)
+
+    def _check_unsupported_keyword(self):
+        token = self.peek()
+        if token.kind == "ident" and token.text in _UNSUPPORTED_KEYWORDS:
+            self.unsupported(_UNSUPPORTED_KEYWORDS[token.text])
+
+    # -- entry ---------------------------------------------------------
+    def parse(self):
+        stmt = self.parse_select()
+        self.accept(";")
+        if self.peek().kind != "eof":
+            self._check_unsupported_keyword()
+            self.error("trailing input after statement")
+        return stmt
+
+    # -- statement -----------------------------------------------------
+    def parse_select(self):
+        self.expect("select")
+        self._check_unsupported_keyword()
+        items = self._select_items()
+        self.expect("from")
+        from_items, on_conjuncts = self._from_list()
+        where = None
+        if self.accept("where"):
+            where = self.parse_expr()
+        for conjunct in on_conjuncts:
+            where = conjunct if where is None \
+                else ast.BinExpr("and", where, conjunct)
+        group_by = []
+        if self.accept("group"):
+            self.expect("by")
+            group_by.append(self.parse_expr())
+            while self.accept(","):
+                group_by.append(self.parse_expr())
+        having = None
+        if self.accept("having"):
+            having = self.parse_expr()
+        order_by = []
+        if self.accept("order"):
+            self.expect("by")
+            order_by.append(self._order_item())
+            while self.accept(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept("limit"):
+            token = self.next()
+            if token.kind != "number" or "." in token.text:
+                raise SqlParseError(
+                    "limit needs an integer, found %r" % token.text,
+                    token.position, self.text)
+            limit = int(token.text)
+        self._check_unsupported_keyword()
+        return ast.SelectStmt(items, from_items, where, group_by,
+                              having, order_by, limit)
+
+    def _select_items(self):
+        if self.accept("*"):
+            return [ast.Star()]
+        items = [self._select_item()]
+        while self.accept(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        expr = self.parse_expr()
+        alias = None
+        if self.accept("as"):
+            alias = self._ident("alias")
+        elif self.peek().kind == "ident" \
+                and self.peek().text not in _CLAUSE_STOPPERS:
+            alias = self._ident("alias")
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self):
+        expr = self.parse_expr()
+        descending = False
+        if self.accept("desc"):
+            descending = True
+        else:
+            self.accept("asc")
+        return (expr, descending)
+
+    def _ident(self, what):
+        token = self.next()
+        if token.kind != "ident":
+            raise SqlParseError(
+                "expected %s, found %r" % (what, token.text),
+                token.position, self.text)
+        return token.text
+
+    # -- FROM ----------------------------------------------------------
+    def _from_list(self):
+        items, on_conjuncts = [self._from_item()], []
+        while True:
+            if self.accept(","):
+                items.append(self._from_item())
+                continue
+            if self.at_keyword("left", "right", "full"):
+                self.unsupported("outer joins")
+            if self.at_keyword("cross"):
+                self.next()
+                self.expect("join")
+                items.append(self._from_item())
+                continue
+            if self.at_keyword("inner", "join"):
+                if self.accept("inner"):
+                    self.expect("join")
+                else:
+                    self.next()
+                items.append(self._from_item())
+                self.expect("on")
+                on_conjuncts.append(self.parse_expr())
+                continue
+            return items, on_conjuncts
+
+    def _from_item(self):
+        if self.at("("):
+            self.next()
+            select = self.parse_select()
+            self.expect(")")
+            self.accept("as")
+            alias = self._ident("derived-table alias")
+            return ast.DerivedTable(select, alias)
+        name = self._ident("table name")
+        alias = None
+        if self.accept("as"):
+            alias = self._ident("alias")
+        elif self.peek().kind == "ident" \
+                and self.peek().text not in _CLAUSE_STOPPERS:
+            alias = self._ident("alias")
+        return ast.TableRef(name, alias)
+
+    # -- expressions ---------------------------------------------------
+    def parse_expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept("or"):
+            left = ast.BinExpr("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept("and"):
+            left = ast.BinExpr("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept("not"):
+            return ast.UnExpr("not", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        left = self._additive()
+        token = self.peek()
+        if token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.next()
+            op = "<>" if token.text == "!=" else token.text
+            return ast.BinExpr(op, left, self._additive())
+        negated = False
+        if self.at_keyword("not") and self.peek(1).text in (
+                "between", "in", "like"):
+            self.next()
+            negated = True
+        if self.accept("between"):
+            low = self._additive()
+            self.expect("and")
+            high = self._additive()
+            desugared = ast.BinExpr(
+                "and", ast.BinExpr(">=", left, low),
+                ast.BinExpr("<=", left, high))
+            return ast.UnExpr("not", desugared) if negated else desugared
+        if self.accept("in"):
+            self.expect("(")
+            if self.at_keyword("select"):
+                select = self.parse_select()
+                self.expect(")")
+                return ast.InSelect(left, select, negated)
+            values = [self.parse_expr()]
+            while self.accept(","):
+                values.append(self.parse_expr())
+            self.expect(")")
+            return ast.InList(left, values, negated)
+        if self.accept("like"):
+            token = self.next()
+            if token.kind != "string":
+                raise SqlParseError(
+                    "like needs a string pattern, found %r"
+                    % token.text, token.position, self.text)
+            pattern = token.text[1:-1].replace("''", "'")
+            return ast.LikeExpr(left, pattern, negated)
+        if self.at_keyword("is"):
+            self.unsupported(_UNSUPPORTED_KEYWORDS["is"])
+        if negated:
+            self.error("expected BETWEEN, IN or LIKE after NOT")
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.next().text
+            right = self._interval_or_multiplicative()
+            if isinstance(right, _Interval):
+                if not isinstance(left, ast.DateLit):
+                    self.unsupported(
+                        "interval arithmetic on non-literal dates")
+                left = ast.DateLit(_shift_date(
+                    left.days, right, 1 if op == "+" else -1))
+            else:
+                left = ast.BinExpr(op, left, right)
+        return left
+
+    def _interval_or_multiplicative(self):
+        if self.at_keyword("interval"):
+            return self._interval()
+        return self._multiplicative()
+
+    def _interval(self):
+        self.expect("interval")
+        token = self.next()
+        if token.kind != "string":
+            raise SqlParseError(
+                "interval needs a quoted count, found %r" % token.text,
+                token.position, self.text)
+        try:
+            count = int(token.text[1:-1])
+        except ValueError:
+            raise SqlParseError(
+                "interval count must be an integer, found %s"
+                % token.text, token.position, self.text) from None
+        unit = self._ident("interval unit")
+        if unit == "year":
+            return _Interval(12 * count, 0)
+        if unit == "month":
+            return _Interval(count, 0)
+        if unit == "day":
+            return _Interval(0, count)
+        self.unsupported("interval unit %r" % unit)
+
+    def _multiplicative(self):
+        left = self._unary()
+        while self.peek().text in ("*", "/"):
+            op = self.next().text
+            left = ast.BinExpr(op, left, self._unary())
+        return left
+
+    def _unary(self):
+        if self.at("-"):
+            self.next()
+            operand = self._unary()
+            if isinstance(operand, ast.NumberLit):
+                return ast.NumberLit(-operand.value)
+            return ast.UnExpr("-", operand)
+        if self.at("+"):
+            self.next()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self):
+        token = self.peek()
+        if token.text == "||":
+            self.unsupported("string concatenation (||)")
+        if token.kind == "number":
+            self.next()
+            if "." in token.text or "e" in token.text \
+                    or "E" in token.text:
+                return ast.NumberLit(float(token.text))
+            return ast.NumberLit(int(token.text))
+        if token.kind == "string":
+            self.next()
+            return ast.StringLit(token.text[1:-1].replace("''", "'"))
+        if token.text == "(":
+            self.next()
+            if self.at_keyword("select"):
+                select = self.parse_select()
+                self.expect(")")
+                return ast.ScalarSelect(select)
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind != "ident":
+            self.error("expected an expression")
+        if token.text in _UNSUPPORTED_KEYWORDS:
+            self.unsupported(_UNSUPPORTED_KEYWORDS[token.text])
+        if token.text == "date":
+            self.next()
+            lit = self.next()
+            if lit.kind != "string":
+                raise SqlParseError(
+                    "date literal needs a quoted ISO date, found %r"
+                    % lit.text, lit.position, self.text)
+            try:
+                days = date_to_days(lit.text[1:-1])
+            except Exception:
+                raise SqlParseError(
+                    "malformed date literal %s" % lit.text,
+                    lit.position, self.text) from None
+            return ast.DateLit(days)
+        if token.text == "interval":
+            self.unsupported("interval outside date +/- arithmetic")
+        if token.text == "case":
+            return self._case()
+        if token.text == "extract":
+            return self._extract()
+        if token.text == "exists":
+            self.next()
+            self.expect("(")
+            select = self.parse_select()
+            self.expect(")")
+            return ast.Exists(select)
+        name = self._ident("expression")
+        if self.at("("):
+            self.next()
+            if self.accept("*"):
+                args = [ast.Star()]
+            elif self.at(")"):
+                args = []
+            else:
+                self._check_unsupported_keyword()
+                args = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+            self.expect(")")
+            if self.at_keyword("over"):
+                self.unsupported(_UNSUPPORTED_KEYWORDS["over"])
+            return ast.FuncCall(name, args)
+        if self.accept("."):
+            column = self._ident("column name")
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)
+
+    def _case(self):
+        self.expect("case")
+        if not self.at_keyword("when"):
+            self.unsupported("simple CASE (use searched CASE WHEN)")
+        whens = []
+        while self.accept("when"):
+            cond = self.parse_expr()
+            self.expect("then")
+            whens.append((cond, self.parse_expr()))
+        else_ = None
+        if self.accept("else"):
+            else_ = self.parse_expr()
+        self.expect("end")
+        return ast.CaseExpr(whens, else_)
+
+    def _extract(self):
+        self.expect("extract")
+        self.expect("(")
+        field = self._ident("extract field")
+        if field != "year":
+            self.unsupported("extract(%s ...) — only year" % field)
+        self.expect("from")
+        expr = self.parse_expr()
+        self.expect(")")
+        return ast.Extract(field, expr)
+
+
+def parse_sql(text):
+    """Parse SQL text into a :class:`~repro.sql.ast.SelectStmt`.
+
+    Raises :class:`~repro.errors.SqlParseError` on syntax errors (with
+    line/column position) and
+    :class:`~repro.errors.SqlUnsupportedError` on recognised-but-
+    unsupported constructs."""
+    if not isinstance(text, str) or not text.strip():
+        raise SqlParseError("empty SQL text", 0, text or "")
+    return Parser(text).parse()

@@ -1,0 +1,343 @@
+"""SQL formulations of the reproduced TPC-D queries (and extras).
+
+Each entry mirrors the hand-written MOA formulation in
+:mod:`repro.tpcd.queries` *structurally* — same output column names,
+same aggregate order, same predicate order — so the lowered plans
+produce results that are checksum-identical to the Moa path (the
+bench ``sql`` section hard-gates on this).  Output aliases matter:
+``result_checksum`` hashes Row field names, so e.g. Q3 must alias
+``l_orderkey`` to ``order`` exactly as the Moa text names it.
+
+``EXTRAS`` exercises TPC-H constructs beyond the 15 reproduced
+queries (CASE, LIKE shapes, date arithmetic, IN lists, NOT EXISTS,
+scalar subqueries in predicates); they are verified against the
+sqlite oracle only.  ``GAPS`` names the TPC-H queries (of the 22)
+the front-end cannot lower yet, with the blocking construct.
+"""
+
+_REV = "l_extendedprice * (1.0 - l_discount)"
+
+
+def _build(number, params):
+    return _BUILDERS[number](params)
+
+
+def _q1(p):
+    return """
+select l_returnflag as returnflag, l_linestatus as linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(%(rev)s) as sum_disc_price,
+       sum(%(rev)s * (1.0 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date '%(date)s'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+""" % {"rev": _REV, "date": p["date"]}
+
+
+def _q2(p):
+    return """
+select s_acctbal, s_name, n_name, p_name, p_mfgr, s_address, s_phone,
+       ps_supplycost as cost
+from partsupp, supplier, nation, region, part
+where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey and ps_partkey = p_partkey
+  and r_name = '%(region)s' and p_size = %(size)d
+  and p_type like '%%%(type)s'
+  and ps_supplycost = (
+    select min(ps_supplycost)
+    from partsupp, supplier, nation, region
+    where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+      and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+      and r_name = '%(region)s')
+order by s_acctbal desc, n_name, p_name
+limit 100
+""" % p
+
+
+def _q3(p):
+    return """
+select l_orderkey as order, sum(%(rev)s) as revenue,
+       o_orderdate as odate, o_shippriority as ship
+from customer, orders, lineitem
+where c_custkey = o_custkey and l_orderkey = o_orderkey
+  and l_shipdate > date '%(date)s'
+  and c_mktsegment = '%(segment)s' and o_orderdate < date '%(date)s'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, odate
+limit 10
+""" % {"rev": _REV, "date": p["date"], "segment": p["segment"]}
+
+
+def _q4(p):
+    return """
+select o_orderpriority as orderpriority, count(*) as order_count
+from orders
+where o_orderdate >= date '%(d1)s' and o_orderdate < date '%(d2)s'
+  and exists (select * from lineitem
+              where l_orderkey = o_orderkey
+                and l_commitdate < l_receiptdate)
+group by o_orderpriority
+order by o_orderpriority
+""" % p
+
+
+def _q5(p):
+    return """
+select n_name as nation, sum(%(rev)s) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and o_orderdate >= date '%(d1)s' and o_orderdate < date '%(d2)s'
+  and r_name = '%(region)s' and c_nationkey = s_nationkey
+group by n_name
+order by revenue desc
+""" % {"rev": _REV, "d1": p["d1"], "d2": p["d2"],
+       "region": p["region"]}
+
+
+def _q6(p):
+    return """
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '%(d1)s' and l_shipdate < date '%(d2)s'
+  and l_discount between %(disc_lo)s and %(disc_hi)s
+  and l_quantity < %(qty)d
+""" % p
+
+
+def _q7(p):
+    return """
+select supp_nation, cust_nation, lyear, sum(volume) as revenue
+from (select n1.n_name as supp_nation, n2.n_name as cust_nation,
+             extract(year from l_shipdate) as lyear,
+             %(rev)s as volume
+      from supplier, lineitem, orders, customer, nation n1, nation n2
+      where s_suppkey = l_suppkey and o_orderkey = l_orderkey
+        and c_custkey = o_custkey and s_nationkey = n1.n_nationkey
+        and c_nationkey = n2.n_nationkey
+        and l_shipdate >= date '%(d1)s' and l_shipdate <= date '%(d2)s'
+        and ((n1.n_name = '%(n1)s' and n2.n_name = '%(n2)s')
+          or (n1.n_name = '%(n2)s' and n2.n_name = '%(n1)s'))
+     ) shipping
+group by supp_nation, cust_nation, lyear
+order by supp_nation, cust_nation, lyear
+""" % {"rev": _REV, "d1": p["d1"], "d2": p["d2"],
+       "n1": p["nation1"], "n2": p["nation2"]}
+
+
+def _q8(p):
+    return """
+select oyear,
+       sum(case when snation = '%(nation)s' then volume else 0.0 end)
+         / sum(volume) as mkt_share
+from (select extract(year from o_orderdate) as oyear,
+             %(rev)s as volume, n2.n_name as snation
+      from lineitem, orders, customer, nation n1, region, supplier,
+           nation n2, part
+      where p_partkey = l_partkey and o_orderkey = l_orderkey
+        and c_custkey = o_custkey and c_nationkey = n1.n_nationkey
+        and n1.n_regionkey = r_regionkey and s_suppkey = l_suppkey
+        and s_nationkey = n2.n_nationkey
+        and p_type = '%(type)s' and r_name = '%(region)s'
+        and o_orderdate >= date '%(d1)s'
+        and o_orderdate <= date '%(d2)s'
+     ) all_nations
+group by oyear
+order by oyear
+""" % {"rev": _REV, "nation": p["nation"], "type": p["type"],
+       "region": p["region"], "d1": p["d1"], "d2": p["d2"]}
+
+
+def _q9(p):
+    return """
+select nation, oyear, sum(amount) as profit
+from (select n_name as nation, extract(year from o_orderdate) as oyear,
+             %(rev)s - ps_supplycost * l_quantity as amount
+      from lineitem, partsupp, part, orders, supplier, nation
+      where l_suppkey = ps_suppkey and l_partkey = ps_partkey
+        and p_partkey = l_partkey and o_orderkey = l_orderkey
+        and s_suppkey = l_suppkey and s_nationkey = n_nationkey
+        and p_name like '%%%(colour)s%%'
+     ) profit
+group by nation, oyear
+order by nation, oyear desc
+""" % {"rev": _REV, "colour": p["colour"]}
+
+
+def _q10(p):
+    return """
+select c_custkey as cust, c_name, c_acctbal, n_name, sum(%(rev)s) as revenue
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and l_orderkey = o_orderkey
+  and c_nationkey = n_nationkey
+  and l_returnflag = 'R'
+  and o_orderdate >= date '%(d1)s' and o_orderdate < date '%(d2)s'
+group by c_custkey, c_name, c_acctbal, n_name
+order by revenue desc
+limit 20
+""" % {"rev": _REV, "d1": p["d1"], "d2": p["d2"]}
+
+
+def _q11(p):
+    return """
+select ps_partkey as part, sum(ps_supplycost * ps_availqty) as stock
+from partsupp, supplier, nation
+where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+  and n_name = '%(nation)s'
+group by ps_partkey
+having sum(ps_supplycost * ps_availqty) > (
+    select sum(ps_supplycost * ps_availqty) * %(fraction)r
+    from partsupp, supplier, nation
+    where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+      and n_name = '%(nation)s')
+order by stock desc
+""" % p
+
+
+def _q12(p):
+    urgent = ("o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH'")
+    return """
+select l_shipmode as shipmode,
+       sum(case when %(urgent)s then 1 else 0 end) as high_count,
+       sum(case when %(urgent)s then 0 else 1 end) as low_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and (l_shipmode = '%(m1)s' or l_shipmode = '%(m2)s')
+  and l_commitdate < l_receiptdate and l_shipdate < l_commitdate
+  and l_receiptdate >= date '%(d1)s' and l_receiptdate < date '%(d2)s'
+group by l_shipmode
+order by l_shipmode
+""" % {"urgent": urgent, "m1": p["mode1"], "m2": p["mode2"],
+       "d1": p["d1"], "d2": p["d2"]}
+
+
+def _q13(p):
+    return """
+select extract(year from o_orderdate) as year, sum(%(rev)s) as loss
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and o_clerk = '%(clerk)s' and l_returnflag = 'R'
+group by extract(year from o_orderdate)
+order by year
+""" % {"rev": _REV, "clerk": p["clerk"]}
+
+
+def _q14(p):
+    return """
+select 100.0 * sum(case when p_type like 'PROMO%%'
+                        then %(rev)s else 0.0 end)
+             / sum(%(rev)s) as promo_revenue
+from lineitem, part
+where l_partkey = p_partkey
+  and l_shipdate >= date '%(d1)s' and l_shipdate < date '%(d2)s'
+""" % {"rev": _REV, "d1": p["d1"], "d2": p["d2"]}
+
+
+_Q15_REVENUE = """(select l_suppkey as supplier, sum(%(rev)s) as total_revenue
+      from lineitem
+      where l_shipdate >= date '%(d1)s' and l_shipdate < date '%(d2)s'
+      group by l_suppkey) revenue"""
+
+
+def _q15(p):
+    revenue = _Q15_REVENUE % {"rev": _REV, "d1": p["d1"], "d2": p["d2"]}
+    return """
+select s_name, s_address, s_phone, total_revenue
+from supplier, %(revenue)s
+where s_suppkey = supplier
+  and total_revenue = (select max(total_revenue) from %(revenue)s)
+order by s_name
+""" % {"revenue": revenue}
+
+
+_BUILDERS = {1: _q1, 2: _q2, 3: _q3, 4: _q4, 5: _q5, 6: _q6, 7: _q7,
+             8: _q8, 9: _q9, 10: _q10, 11: _q11, 12: _q12, 13: _q13,
+             14: _q14, 15: _q15}
+
+
+def sql_text(number, overrides=None):
+    """The SQL formulation of reproduced query ``number``, with the
+    same default parameters as the Moa formulation."""
+    from ..tpcd.queries import QUERIES
+    return _build(number, QUERIES[number].params(overrides)).strip()
+
+
+def sql_queries(overrides=None):
+    """{number: sql text} for every reproduced query."""
+    return {n: sql_text(n, overrides) for n in sorted(_BUILDERS)}
+
+
+#: Additional TPC-H constructs beyond the 15 reproduced queries,
+#: verified against the sqlite oracle (name -> SQL).
+EXTRAS = {
+    "in_list": """
+select l_shipmode as shipmode, count(*) as n
+from lineitem
+where l_shipmode in ('MAIL', 'SHIP', 'AIR')
+group by l_shipmode
+order by l_shipmode
+""",
+    "not_in_list": """
+select o_orderpriority as priority, count(*) as n
+from orders
+where o_orderpriority not in ('1-URGENT', '2-HIGH')
+group by o_orderpriority
+order by o_orderpriority
+""",
+    "not_exists": """
+select c_custkey as cust, c_acctbal as acctbal
+from customer
+where c_acctbal > 9000.0
+  and not exists (select * from orders where o_custkey = c_custkey)
+order by acctbal desc
+""",
+    "scalar_pred": """
+select s_suppkey as supplier, s_acctbal as acctbal
+from supplier
+where s_acctbal > (select avg(s_acctbal) from supplier)
+order by acctbal desc
+""",
+    "case_like_date": """
+select extract(year from l_shipdate) as year,
+       sum(case when p_type like 'PROMO%' then 1 else 0 end) as promo,
+       count(*) as total
+from lineitem, part
+where l_partkey = p_partkey
+  and l_shipdate >= date '1995-01-01' - interval '1' year
+  and l_shipdate < date '1995-01-01' + interval '2' year
+group by extract(year from l_shipdate)
+order by year
+""",
+    "semijoin_in": """
+select o_orderkey as order, o_totalprice as total
+from orders
+where o_totalprice > 150000.0
+  and o_orderkey in (select l_orderkey from lineitem
+                     where l_quantity >= 48)
+order by total desc
+""",
+}
+
+#: TPC-H queries (of the 22) the front-end cannot lower yet.
+GAPS = {
+    16: "COUNT(DISTINCT ps_suppkey) — no distinct aggregate in MIL "
+        "mapping yet",
+    17: "scalar subquery correlated on a non-output aggregate "
+        "(0.2 * avg(l_quantity)) compared with <",
+    18: "IN over a grouped HAVING subquery producing keys",
+    19: "OR of multi-column conjunct groups mixing part and lineitem "
+        "predicates (needs disjunctive join predicate)",
+    20: "nested IN/scalar chain: IN over partsupp filtered by a "
+        "correlated scalar subquery on lineitem",
+    21: "EXISTS/NOT EXISTS with inequality correlation "
+        "(l2.l_suppkey <> l1.l_suppkey)",
+    22: "substring() on phone numbers and NOT EXISTS + scalar avg "
+        "over a filtered customer set",
+}

@@ -127,6 +127,61 @@ def test_moa_syntax_error_is_typed_and_non_fatal(server):
 
 
 # ----------------------------------------------------------------------
+# the SQL front-end over the wire
+# ----------------------------------------------------------------------
+def test_sql_over_the_wire_matches_the_moa_path(server,
+                                                serial_checksums):
+    from repro.sql.suite import sql_text
+    with _connect(server) as client:
+        for number in (1, 3, 6):
+            reply = client.sql(sql_text(number))
+            assert reply.checksum == serial_checksums[number]
+
+
+def test_sql_served_on_both_wire_formats(server, serial_checksums):
+    from repro.sql.suite import sql_text
+    host, port = server.address
+    checksums = {}
+    for wire in ("json", "binary"):
+        with QueryClient(host, port, wire=wire) as client:
+            assert client.wire == wire
+            checksums[wire] = client.sql(sql_text(3)).checksum
+    assert checksums["json"] == checksums["binary"] \
+        == serial_checksums[3]
+
+
+def test_sql_prepared_plans_are_cached_per_worker(server):
+    from repro.sql.suite import sql_text
+    text = sql_text(6)
+    with _connect(server) as client:
+        procs = server.service.procs
+        # pigeonhole: more submissions than workers guarantees some
+        # worker sees the identical text twice
+        replies = [client.sql(text) for _ in range(procs + 1)]
+        assert any(r.plan_cached or r.result_cached for r in replies)
+
+
+def test_sql_parse_error_is_typed_with_position(server):
+    from repro.errors import SqlParseError
+    with _connect(server) as client:
+        with pytest.raises(SqlParseError) as err:
+            client.sql("select frum lineitem")
+        assert "line 1, column" in str(err.value)
+        assert client.ping() == 1           # the connection survives
+
+
+def test_sql_unsupported_is_typed_and_non_fatal(server):
+    from repro.errors import SqlUnsupportedError
+    with _connect(server) as client:
+        with pytest.raises(SqlUnsupportedError):
+            client.sql("select rank() over (order by l_quantity) "
+                       "from lineitem")
+        with pytest.raises(ProtocolError):
+            client.sql("   ")               # no query text at all
+        assert client.ping() == 1
+
+
+# ----------------------------------------------------------------------
 # concurrency: >= 4 clients over the full query set
 # ----------------------------------------------------------------------
 def test_four_concurrent_clients_full_query_set(server,

@@ -1,0 +1,178 @@
+"""Parser contract: round-trip idempotence and typed failures.
+
+The canonical round-trip property (documented in ``repro.sql.ast``)
+is render *idempotence*: the first parse canonicalises (BETWEEN
+desugars, DATE +/- INTERVAL folds, JOIN ... ON moves into WHERE), and
+``render(parse(render(parse(t))))`` equals ``render(parse(t))`` for
+every accepted ``t``.  Malformed text must raise
+:class:`~repro.errors.SqlParseError` carrying line/column position;
+parsed-but-out-of-subset constructs must raise
+:class:`~repro.errors.SqlUnsupportedError` — never a crash, never a
+wrong answer.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (SqlError, SqlParseError, SqlUnsupportedError,
+                          is_retryable)
+from repro.sql.parser import parse_sql
+from repro.sql.suite import EXTRAS, sql_queries
+
+
+def _roundtrip(text):
+    once = parse_sql(text).render()
+    twice = parse_sql(once).render()
+    return once, twice
+
+
+# ----------------------------------------------------------------------
+# round-trip over the whole suite
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("number", sorted(sql_queries()))
+def test_suite_queries_roundtrip(number):
+    once, twice = _roundtrip(sql_queries()[number])
+    assert once == twice
+
+
+@pytest.mark.parametrize("name", sorted(EXTRAS))
+def test_extras_roundtrip(name):
+    once, twice = _roundtrip(EXTRAS[name])
+    assert once == twice
+
+
+def test_canonicalisation_is_stable_not_identity():
+    # BETWEEN desugars on the first parse; the second is a fixpoint
+    text = ("select l_orderkey from lineitem "
+            "where l_discount between 0.05 and 0.07")
+    once, twice = _roundtrip(text)
+    assert "between" not in once
+    assert ">=" in once and "<=" in once
+    assert once == twice
+
+
+def test_join_on_desugars_into_where():
+    text = ("select o_orderdate from orders "
+            "join lineitem on l_orderkey = o_orderkey "
+            "where l_quantity > 10")
+    once, twice = _roundtrip(text)
+    assert "join" not in once
+    assert once.count("where") == 1
+    assert once == twice
+
+
+def test_date_interval_folds_to_a_literal():
+    text = ("select o_orderdate from orders where o_orderdate < "
+            "date '1995-01-01' + interval '3' month")
+    once, twice = _roundtrip(text)
+    assert "interval" not in once
+    assert "date '1995-04-01'" in once
+    assert once == twice
+
+
+# ----------------------------------------------------------------------
+# property: random expressions round-trip idempotently
+# ----------------------------------------------------------------------
+_COLUMNS = st.sampled_from(
+    ["l_quantity", "l_extendedprice", "l_discount", "l_tax"])
+_NUMBERS = st.one_of(
+    st.integers(min_value=0, max_value=999).map(str),
+    st.floats(min_value=0.0, max_value=99.0, allow_nan=False,
+              allow_infinity=False).map(lambda f: "%.3f" % f))
+_STRINGS = st.sampled_from(["'MAIL'", "'SHIP'", "'1-URGENT'"])
+
+
+def _expr(children):
+    atom = st.one_of(_COLUMNS, _NUMBERS, _STRINGS)
+    binop = st.tuples(children, st.sampled_from(["+", "-", "*", "/"]),
+                      children).map(lambda t: "(%s %s %s)" % t)
+    cmp_ = st.tuples(children,
+                     st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                     children).map(lambda t: "(%s %s %s)" % t)
+    logic = st.tuples(cmp_, st.sampled_from(["and", "or"]),
+                      cmp_).map(lambda t: "(%s %s %s)" % t)
+    case = st.tuples(cmp_, children, children).map(
+        lambda t: "case when %s then %s else %s end" % t)
+    inlist = st.tuples(children, _NUMBERS, _NUMBERS).map(
+        lambda t: "(%s in (%s, %s))" % t)
+    return st.one_of(atom, binop, cmp_, logic, case, inlist)
+
+
+_EXPRS = st.recursive(st.one_of(_COLUMNS, _NUMBERS), _expr,
+                      max_leaves=12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=_EXPRS, pred=_EXPRS)
+def test_random_expressions_roundtrip(expr, pred):
+    text = "select %s as x from lineitem where (%s) > 0" % (expr, pred)
+    once = parse_sql(text).render()
+    assert parse_sql(once).render() == once
+
+
+# ----------------------------------------------------------------------
+# malformed text: typed parse errors with position info
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text, line, column", [
+    ("select frum lineitem", 1, 21),
+    ("select * from", 1, 14),
+    ("select l_orderkey\nfrom lineitem\nwhere", 3, 6),
+    ("select * from lineitem order by", 1, 32),
+    ("select\nl_orderkey,\nfrom lineitem", 3, 14),
+])
+def test_malformed_sql_raises_with_position(text, line, column):
+    with pytest.raises(SqlParseError) as err:
+        parse_sql(text)
+    message = str(err.value)
+    assert "(line %d, column %d)" % (line, column) in message
+    assert err.value.position is not None
+    assert err.value.text == text
+
+
+def test_unbalanced_parens_are_a_parse_error():
+    with pytest.raises(SqlParseError):
+        parse_sql("select (l_quantity + from lineitem")
+
+
+def test_garbage_after_statement_is_a_parse_error():
+    with pytest.raises(SqlParseError):
+        parse_sql("select l_quantity from lineitem ; drop table x")
+
+
+# ----------------------------------------------------------------------
+# out-of-subset constructs: typed unsupported, never a wrong answer
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text, needle", [
+    ("select rank() over (order by l_quantity) from lineitem",
+     "window"),
+    ("select * from lineitem left outer join orders "
+     "on l_orderkey = o_orderkey", "outer join"),
+    ("select distinct l_orderkey from lineitem", "DISTINCT"),
+    ("select count(distinct l_suppkey) from lineitem", "DISTINCT"),
+    ("select l_orderkey from lineitem union "
+     "select o_orderkey from orders", "set operations"),
+    ("select l_orderkey from lineitem where l_comment is null",
+     "NULL"),
+])
+def test_unsupported_constructs_raise_typed(text, needle):
+    with pytest.raises(SqlUnsupportedError) as err:
+        parse_sql(text)
+    assert needle.lower() in str(err.value).lower()
+
+
+def test_sql_errors_form_a_non_retryable_taxonomy():
+    # both failure modes share the SqlError base and are terminal:
+    # resubmitting the identical text cannot succeed
+    assert issubclass(SqlParseError, SqlError)
+    assert issubclass(SqlUnsupportedError, SqlError)
+    for cls in (SqlError, SqlParseError, SqlUnsupportedError):
+        assert is_retryable(cls) is False
+
+
+def test_unknown_table_and_column_raise_on_lowering():
+    from repro.sql.lower import lower_sql
+    with pytest.raises(SqlUnsupportedError):
+        lower_sql(parse_sql("select * from nope"))
+    with pytest.raises(SqlUnsupportedError):
+        lower_sql(parse_sql("select nope from lineitem"))
